@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark suite.
+
+The heavy circuits are built once per session; the exact-flow budget is
+deliberately tighter than the library default so a full benchmark run stays
+in the minutes range while still reproducing the paper's failure pattern.
+"""
+
+import pytest
+
+from repro.bm.benchmarks import BENCHMARKS, build_benchmark
+from repro.exact import ExactBudget
+
+#: circuits the exact flow solves under the benchmark budget (paper: 12/15)
+EXACT_SOLVABLE = [
+    b.name for b in BENCHMARKS if b.exact_failed_in_paper is None
+]
+EXACT_FAILING = [b.name for b in BENCHMARKS if b.exact_failed_in_paper]
+
+#: small circuits suitable for repeated timing rounds
+SMALL_CIRCUITS = [
+    "dram-ctrl",
+    "pscsi-ircv",
+    "sscsi-isend-bm",
+    "sscsi-trcv-bm",
+    "sscsi-tsend-bm",
+    "stetson-p3",
+]
+
+BENCH_EXACT_BUDGET = ExactBudget(
+    prime_limit=50_000,
+    transform_limit=100_000,
+    covering_node_limit=300_000,
+    time_limit_s=20.0,
+)
+
+
+@pytest.fixture(scope="session")
+def instances():
+    """All fifteen suite instances, built once."""
+    return {b.name: build_benchmark(b.name) for b in BENCHMARKS}

@@ -1,0 +1,47 @@
+"""Ablation: LAST_GASP (paper §3.7).
+
+LAST_GASP exists to escape local minima of the inner loop; this bench
+verifies it never worsens covers and measures its cost on the suite.
+"""
+
+import pytest
+
+from benchmarks.conftest import SMALL_CIRCUITS
+from repro.hf import espresso_hf, EspressoHFOptions
+from repro.hazards.verify import is_hazard_free_cover
+
+WITH = EspressoHFOptions(use_last_gasp=True)
+WITHOUT = EspressoHFOptions(use_last_gasp=False)
+
+
+@pytest.mark.parametrize("name", SMALL_CIRCUITS)
+def test_with_last_gasp(benchmark, instances, name):
+    instance = instances[name]
+    result = benchmark(lambda: espresso_hf(instance, WITH))
+    assert is_hazard_free_cover(instance, result.cover)
+
+
+@pytest.mark.parametrize("name", SMALL_CIRCUITS)
+def test_without_last_gasp(benchmark, instances, name):
+    instance = instances[name]
+    result = benchmark(lambda: espresso_hf(instance, WITHOUT))
+    assert is_hazard_free_cover(instance, result.cover)
+
+
+def test_last_gasp_never_worsens(benchmark, instances):
+    def run():
+        rows = []
+        for name in SMALL_CIRCUITS + ["pscsi-tsend", "pscsi-tsend-bm", "sd-control"]:
+            instance = instances[name]
+            rows.append(
+                (
+                    name,
+                    espresso_hf(instance, WITH).num_cubes,
+                    espresso_hf(instance, WITHOUT).num_cubes,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for name, with_c, without_c in rows:
+        assert with_c <= without_c, (name, with_c, without_c)

@@ -1,0 +1,59 @@
+"""Dhf-canonicalization as problem-size reduction (paper §3.2).
+
+Canonical required cubes "may have smaller size than Q, i.e. being a more
+efficient representation of the problem" and, being larger cubes, speed up
+EXPAND.  This bench measures |Q| vs |Q_f| on the suite and times the
+canonicalization itself.
+"""
+
+import pytest
+
+from benchmarks.conftest import SMALL_CIRCUITS
+from repro.bm.benchmarks import BENCHMARKS
+from repro.hf import HFContext
+
+
+@pytest.mark.parametrize("name", SMALL_CIRCUITS + ["sd-control", "stetson-p1"])
+def test_canonicalization_time(benchmark, instances, name):
+    instance = instances[name]
+
+    def run():
+        ctx = HFContext(instance)
+        return ctx.canonical_required()
+
+    qf = benchmark(run)
+    assert qf is not None
+
+
+def test_problem_size_reduction(benchmark, instances):
+    """|Q_f| <= |Q| on every suite circuit, strictly smaller on several."""
+
+    def run():
+        rows = []
+        for bench in BENCHMARKS:
+            instance = instances[bench.name]
+            ctx = HFContext(instance)
+            qf = ctx.canonical_required()
+            rows.append((bench.name, len(instance.required_cubes()), len(qf)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for name, q, qf in rows:
+        assert qf <= q, (name, q, qf)
+    assert any(qf < q for _, q, qf in rows)
+
+
+def test_canonical_cubes_dominate_originals(benchmark, instances):
+    """Every canonical cube contains its original required cube and is a
+    dhf-implicant (the equivalence of the two covering problems, §3.2)."""
+    instance = instances["stetson-p2"]
+
+    def run():
+        ctx = HFContext(instance)
+        qf = ctx.canonical_required()
+        for t in qf:
+            assert t.canonical.contains_input(t.original)
+            assert ctx.is_dhf_implicant(t.canonical, 1 << t.output)
+        return len(qf)
+
+    assert benchmark.pedantic(run, rounds=1, iterations=1) > 0

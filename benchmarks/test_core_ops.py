@@ -1,0 +1,85 @@
+"""Micro-benchmarks of the substrate operators.
+
+Not a paper artifact — a performance-regression guard for the cube algebra
+and the unate-recursive core everything else sits on.
+"""
+
+import random
+
+from repro.cubes import Cube, Cover, minimize_scc
+from repro.cubes.operations import cube_sharp
+from repro.espresso import complement, tautology, all_primes
+from repro.espresso.espresso import espresso
+from repro.mincov import solve_mincov
+
+
+def _random_cover(n, k, seed):
+    rng = random.Random(seed)
+    cubes = []
+    for _ in range(k):
+        lits = [rng.choice((1, 2, 3)) for _ in range(n)]
+        cubes.append(Cube.from_literals(lits))
+    return Cover(n, cubes)
+
+
+def test_cube_intersection_throughput(benchmark):
+    cover = _random_cover(24, 200, 1)
+    cubes = list(cover)
+
+    def run():
+        hits = 0
+        for a in cubes:
+            for b in cubes:
+                if a.intersects_input(b):
+                    hits += 1
+        return hits
+
+    assert benchmark(run) > 0
+
+
+def test_scc_minimization(benchmark):
+    cover = _random_cover(16, 300, 2)
+    result = benchmark(lambda: minimize_scc(cover))
+    assert len(result) <= 300
+
+
+def test_sharp_operation(benchmark):
+    a = Cube.full(20)
+    b = Cube.from_literals([1, 2] * 10)
+
+    def run():
+        return cube_sharp(a, b)
+
+    assert len(benchmark(run)) == 20
+
+
+def test_tautology_check(benchmark):
+    cover = _random_cover(10, 60, 3)
+    benchmark(lambda: tautology(cover))
+
+
+def test_complement_medium(benchmark):
+    cover = _random_cover(12, 25, 4)
+    comp = benchmark(lambda: complement(cover))
+    assert comp is not None
+
+
+def test_all_primes_medium(benchmark):
+    cover = _random_cover(8, 15, 5)
+    primes = benchmark(lambda: all_primes(cover))
+    assert primes
+
+
+def test_espresso_loop(benchmark):
+    cover = _random_cover(8, 30, 6)
+    result = benchmark.pedantic(lambda: espresso(cover), rounds=1, iterations=1)
+    assert result.semantically_equal(cover)
+
+
+def test_mincov_exact(benchmark):
+    rng = random.Random(7)
+    rows = [
+        sorted(rng.sample(range(30), rng.randint(2, 5))) for _ in range(40)
+    ]
+    solution = benchmark(lambda: solve_mincov(rows, 30))
+    assert solution is not None

@@ -1,0 +1,56 @@
+"""Cover-quality claim: Espresso-HF "almost always obtains an exactly
+minimum cover" (paper abstract and §5).
+
+Measures the fraction of seeded random instances on which the heuristic
+matches the exact minimum, and bounds the worst-case excess.
+"""
+
+from repro.bm.random_spec import random_instance
+from repro.exact import exact_hazard_free_minimize
+from repro.hazards import hazard_free_solution_exists
+from repro.hf import espresso_hf
+
+
+def _sweep(n_inputs, n_outputs, seeds):
+    total = matched = 0
+    worst_gap = 0
+    for seed in seeds:
+        inst = random_instance(n_inputs, n_outputs, n_transitions=4, seed=seed)
+        if not inst.transitions or not hazard_free_solution_exists(inst):
+            continue
+        exact = exact_hazard_free_minimize(inst)
+        hf = espresso_hf(inst)
+        total += 1
+        gap = hf.num_cubes - exact.num_cubes
+        assert gap >= 0
+        worst_gap = max(worst_gap, gap)
+        if gap == 0:
+            matched += 1
+    return total, matched, worst_gap
+
+
+def test_single_output_optimality(benchmark):
+    total, matched, worst = benchmark.pedantic(
+        lambda: _sweep(4, 1, range(80)), rounds=1, iterations=1
+    )
+    assert total >= 40
+    assert matched / total >= 0.9  # "almost always"
+    assert worst <= 2
+
+
+def test_multi_output_optimality(benchmark):
+    total, matched, worst = benchmark.pedantic(
+        lambda: _sweep(4, 2, range(60)), rounds=1, iterations=1
+    )
+    assert total >= 30
+    assert matched / total >= 0.85
+    assert worst <= 2
+
+
+def test_five_input_optimality(benchmark):
+    total, matched, worst = benchmark.pedantic(
+        lambda: _sweep(5, 1, range(40)), rounds=1, iterations=1
+    )
+    assert total >= 20
+    assert matched / total >= 0.85
+    assert worst <= 2

@@ -1,0 +1,66 @@
+"""Multi-output vs single-output minimization (paper §1: "implements both
+single-output and multi-output minimization").
+
+Multi-output minimization lets one AND gate feed several outputs; this bench
+measures the sharing benefit over per-output minimization on the suite and
+on the hand-written controller library.
+"""
+
+import pytest
+
+from benchmarks.conftest import SMALL_CIRCUITS
+from repro.bm.library import CONTROLLERS
+from repro.bm.synthesis import synthesize
+from repro.hf import espresso_hf, espresso_hf_per_output
+from repro.hazards.verify import is_hazard_free_cover
+
+
+@pytest.mark.parametrize("name", SMALL_CIRCUITS)
+def test_multi_output_mode(benchmark, instances, name):
+    instance = instances[name]
+    result = benchmark(lambda: espresso_hf(instance))
+    assert is_hazard_free_cover(instance, result.cover)
+
+
+@pytest.mark.parametrize("name", SMALL_CIRCUITS)
+def test_per_output_mode(benchmark, instances, name):
+    instance = instances[name]
+    result = benchmark(lambda: espresso_hf_per_output(instance))
+    assert is_hazard_free_cover(instance, result.cover)
+
+
+def test_sharing_never_loses(benchmark, instances):
+    """Multi-output covers are never larger than merged per-output covers."""
+
+    def run():
+        rows = []
+        for name in SMALL_CIRCUITS + ["pe-send-ifc", "pscsi-isend"]:
+            instance = instances[name]
+            multi = espresso_hf(instance).num_cubes
+            per = espresso_hf_per_output(instance).num_cubes
+            rows.append((name, multi, per))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for name, multi, per in rows:
+        assert multi <= per, (name, multi, per)
+
+
+def test_sharing_on_library_controllers(benchmark):
+    """The hand-written controllers all benefit from (or tie under)
+    multi-output sharing, and both modes verify hazard-free."""
+
+    def run():
+        rows = []
+        for name, factory in sorted(CONTROLLERS.items()):
+            instance = synthesize(factory()).instance
+            multi = espresso_hf(instance)
+            per = espresso_hf_per_output(instance)
+            assert is_hazard_free_cover(instance, multi.cover)
+            assert is_hazard_free_cover(instance, per.cover)
+            rows.append((name, multi.num_cubes, per.num_cubes))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for name, multi, per in rows:
+        assert multi <= per, (name, multi, per)

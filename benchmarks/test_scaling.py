@@ -1,0 +1,82 @@
+"""Scaling behaviour of Espresso-HF and its core operators.
+
+The paper positions Espresso-HF as the tool that scales where the exact
+flow cannot; these benches measure how the heuristic's runtime grows with
+the synthesized controller size and time the hot operators.
+"""
+
+import pytest
+
+from repro.bm.random_spec import random_burst_mode_spec
+from repro.bm.synthesis import synthesize
+from repro.bm.spec import SpecError
+from repro.hf import espresso_hf, HFContext
+from repro.hazards import hazard_free_solution_exists
+from repro.hazards.verify import is_hazard_free_cover
+
+SIZES = [2, 3, 4, 5, 6]
+
+
+def _instance_for(n_states: int):
+    for seed in range(80):
+        try:
+            spec = random_burst_mode_spec(4, 3, n_states, seed=seed, max_burst=2)
+            result = synthesize(spec)
+        except SpecError:
+            continue
+        if hazard_free_solution_exists(result.instance):
+            return result.instance
+    raise RuntimeError(f"no solvable instance found for {n_states} states")
+
+
+@pytest.mark.parametrize("n_states", SIZES)
+def test_hf_scaling_with_state_count(benchmark, n_states):
+    instance = _instance_for(n_states)
+    result = benchmark.pedantic(
+        lambda: espresso_hf(instance), rounds=1, iterations=1
+    )
+    assert is_hazard_free_cover(instance, result.cover)
+
+
+def test_supercube_dhf_operator(benchmark, instances):
+    """The hot inner operator: canonicalization over the suite's largest
+    solvable circuit."""
+    instance = instances["sd-control"]
+    ctx = HFContext(instance)
+    reqs = instance.required_cubes()
+
+    def run():
+        count = 0
+        for q in reqs:
+            if ctx.supercube_dhf([q.cube], 1 << q.output) is not None:
+                count += 1
+        return count
+
+    assert benchmark(run) == len(reqs)
+
+
+def test_required_cube_generation(benchmark, instances):
+    """Required-cube derivation (minimal hitting sets) on stetson-p1."""
+    from repro.hazards.instance import HazardFreeInstance
+
+    src = instances["stetson-p1"]
+
+    def run():
+        fresh = HazardFreeInstance(
+            src.on, src.off, src.transitions, name="copy", validate=False
+        )
+        return len(fresh.required_cubes())
+
+    assert benchmark.pedantic(run, rounds=1, iterations=1) == 386
+
+
+def test_verifier_scaling(benchmark, instances):
+    """The Theorem 2.11 verifier on the largest circuit's HF cover."""
+    instance = instances["stetson-p1"]
+    cover = espresso_hf(instance).cover
+    from repro.hazards.verify import verify_hazard_free_cover
+
+    violations = benchmark.pedantic(
+        lambda: verify_hazard_free_cover(instance, cover), rounds=1, iterations=1
+    )
+    assert violations == []

@@ -1,0 +1,84 @@
+"""Figure 8 (the paper's main table): exact vs Espresso-HF on the suite.
+
+Reproduces, per circuit: number of dhf-primes, exact cover size and time,
+Espresso-HF essential-class count, cover size and time — and the headline
+claims: the exact flow fails on cache-ctrl / pscsi-pscsi / stetson-p1 while
+Espresso-HF solves everything, matching the exact minimum wherever the
+exact flow finishes.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_EXACT_BUDGET, EXACT_FAILING, EXACT_SOLVABLE, SMALL_CIRCUITS
+from repro.exact import exact_hazard_free_minimize, ExactFailure
+from repro.hf import espresso_hf
+from repro.hazards.verify import is_hazard_free_cover
+
+
+@pytest.mark.parametrize("name", SMALL_CIRCUITS)
+def test_hf_small_circuits(benchmark, instances, name):
+    """Espresso-HF runtime on the small circuits (repeatable rounds)."""
+    instance = instances[name]
+    result = benchmark(lambda: espresso_hf(instance))
+    assert is_hazard_free_cover(instance, result.cover)
+
+
+@pytest.mark.parametrize("name", ["pe-send-ifc", "pscsi-tsend-bm", "stetson-p2", "sd-control"])
+def test_hf_medium_circuits(benchmark, instances, name):
+    """Espresso-HF runtime on the medium circuits (single round)."""
+    instance = instances[name]
+    result = benchmark.pedantic(
+        lambda: espresso_hf(instance), rounds=1, iterations=1
+    )
+    assert is_hazard_free_cover(instance, result.cover)
+
+
+@pytest.mark.parametrize("name", EXACT_FAILING)
+def test_hf_solves_circuits_exact_cannot(benchmark, instances, name):
+    """The paper's headline: Espresso-HF solves the three circuits the
+    exact method fails on."""
+    instance = instances[name]
+    result = benchmark.pedantic(
+        lambda: espresso_hf(instance), rounds=1, iterations=1
+    )
+    assert is_hazard_free_cover(instance, result.cover)
+
+
+@pytest.mark.parametrize("name", SMALL_CIRCUITS)
+def test_exact_small_circuits(benchmark, instances, name):
+    """Exact-flow runtime where it succeeds."""
+    instance = instances[name]
+    result = benchmark(
+        lambda: exact_hazard_free_minimize(instance, budget=BENCH_EXACT_BUDGET)
+    )
+    assert is_hazard_free_cover(instance, result.cover)
+
+
+@pytest.mark.parametrize("name", EXACT_FAILING)
+def test_exact_fails_on_large_circuits(benchmark, instances, name):
+    """The exact flow must hit a stage budget on the paper's three failures."""
+    instance = instances[name]
+
+    def run():
+        with pytest.raises(ExactFailure):
+            exact_hazard_free_minimize(instance, budget=BENCH_EXACT_BUDGET)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_hf_matches_exact_minimum_everywhere_solvable(benchmark, instances):
+    """Cover-quality claim: HF cardinality == exact minimum on every circuit
+    the exact flow can finish (paper: all but one)."""
+
+    def run():
+        mismatches = []
+        for name in EXACT_SOLVABLE:
+            instance = instances[name]
+            exact = exact_hazard_free_minimize(instance, budget=BENCH_EXACT_BUDGET)
+            hf = espresso_hf(instance)
+            if hf.num_cubes != exact.num_cubes:
+                mismatches.append((name, hf.num_cubes, exact.num_cubes))
+        return mismatches
+
+    mismatches = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert mismatches == []

@@ -1,0 +1,60 @@
+"""The paper's Figure 3 walkthrough: dhf-canonicalization of required cubes.
+
+A required cube that illegally intersects a privileged cube must grow to
+absorb the privileged cube's start point; that growth can trigger further
+illegal intersections, so the expansion chains until it stabilizes — the
+*canonical required cube* (the unique minimum dhf-implicant containing the
+original).  This example replays the paper's chain bcd -> bd -> b.
+
+Run: python examples/canonicalization_walkthrough.py
+"""
+
+from repro.cubes import Cube, Cover
+from repro.hazards import HazardFreeInstance, Transition, supercube_dhf
+from repro.hazards.dhf import illegally_intersects
+from repro.hf import HFContext
+
+on = Cover.from_strings(["-1--", "1-0-", "0-00"])
+off = Cover.from_strings(["-01-", "0001"])
+transitions = [
+    Transition((0, 1, 0, 0), (0, 0, 0, 1)),
+    Transition((1, 1, 0, 1), (1, 0, 1, 1)),
+    Transition((1, 0, 0, 0), (1, 1, 0, 1)),
+    Transition((0, 1, 1, 1), (1, 1, 1, 1)),
+    Transition((0, 1, 1, 0), (1, 1, 1, 0)),
+]
+instance = HazardFreeInstance(on, off, transitions, name="figure3")
+priv = instance.privileged_for_output(0)
+off0 = instance.off_for_output(0)
+
+print("privileged cubes:")
+for p in priv:
+    print(f"   {p.cube.input_string()} (start point {p.start.input_string()})")
+
+r = Cube.from_string("-111")  # the required cube bcd
+print(f"\ncanonicalizing required cube bcd = {r.input_string()}:")
+step = r
+while True:
+    offenders = [p for p in priv if illegally_intersects(step, p)]
+    if not offenders:
+        break
+    p = offenders[0]
+    grown = step.supercube(p.start)
+    print(
+        f"   {step.input_string()} illegally intersects {p.cube.input_string()} "
+        f"-> absorb start {p.start.input_string()} -> {grown.input_string()}"
+    )
+    step = grown
+print(f"   {step.input_string()} is a dhf-implicant: canonical cube = b")
+assert supercube_dhf([r], priv, off0) == step
+
+print("\nall canonical required cubes (after single-cube containment):")
+ctx = HFContext(instance)
+for q in ctx.canonical_required():
+    print(f"   {q.original.input_string()}  ->  {q.canonical.input_string()}")
+
+print(
+    "\nthe paper's point: the 7 raw required cubes collapse to 3 canonical "
+    "ones, and any dhf-implicant containing a required cube must contain its "
+    "canonical cube — so the covering problem shrinks with no loss."
+)

@@ -1,0 +1,63 @@
+"""Operate a minimized controller in closed loop and watch it not glitch.
+
+Synthesizes the SCSI target-send controller, minimizes it with Espresso-HF,
+then runs the actual feedback machine (combinational logic + state latch,
+random per-gate/per-wire delays, random burst arrival orders) through a
+random walk of its own specification.  Then it deliberately breaks the
+cover — splitting one product so a required cube loses its single-cube
+containment, without changing the implemented function — and shows the
+machine now glitches.
+
+Run: python examples/closed_loop_simulation.py
+"""
+
+from repro.bm import build_controller, synthesize
+from repro.cubes import Cover
+from repro.hf import espresso_hf
+from repro.hazards import verify_hazard_free_cover
+from repro.simulate import FeedbackSimulationError, run_spec_walk
+
+synth = synthesize(build_controller("scsi-target-send"))
+instance = synth.instance
+cover = espresso_hf(instance).cover
+print(f"controller: {instance}")
+print(f"minimized cover: {len(cover)} products")
+
+print("\nrandom spec walks (fresh delays and burst skews every step):")
+total_steps = 0
+for seed in range(10):
+    reports = run_spec_walk(cover, synth, n_steps=30, seed=seed)
+    total_steps += len(reports)
+print(f"   {total_steps} burst steps executed, zero glitches, "
+      "every state landing verified")
+
+# Now break it: split one product so a required cube is no longer inside a
+# single cube.  The function is unchanged; only the hazard guarantee dies.
+target = None
+for q in instance.required_cubes():
+    for c in cover:
+        if c.has_output(q.output) and c.contains_input(q.cube):
+            free = [i for i in q.cube.free_vars() if c.literal(i) == 3]
+            if free:
+                target = (q, c, free[0])
+                break
+    if target:
+        break
+q, c, var = target
+pieces = [c.with_literal(var, 1), c.with_literal(var, 2)]
+bad = Cover(instance.n_inputs, [d for d in cover if d != c] + pieces,
+            instance.n_outputs)
+print(f"\ncorrupting the cover: split {c.input_string()} into "
+      f"{pieces[0].input_string()} + {pieces[1].input_string()}")
+violation = verify_hazard_free_cover(instance, bad)[0]
+print(f"   Theorem 2.11 now fails: {violation}")
+
+caught = 0
+for seed in range(25):
+    try:
+        run_spec_walk(bad, synth, n_steps=40, seed=seed)
+    except FeedbackSimulationError as err:
+        caught += 1
+        if caught == 1:
+            print(f"   first dynamic failure: {err}")
+print(f"   {caught}/25 walks glitched — same function, hazardous cover.")

@@ -1,0 +1,45 @@
+"""The paper's Figure 1: hazard-freedom costs cover cardinality.
+
+Computes, for the same function and transition set:
+
+* the minimum *hazard-free* cover (5 products), and
+* the minimum *unconstrained* cover (4 products),
+
+then demonstrates with Monte-Carlo delay simulation that the 4-product
+cover really glitches on the specified transitions while the 5-product
+cover never does.
+
+Run: python examples/figure1_hazard_cost.py
+"""
+
+from repro.bench.figure1 import figure1_experiment, figure1_instance
+from repro.hazards import verify_hazard_free_cover
+from repro.simulate import SopNetwork, find_glitch
+
+instance = figure1_instance()
+result = figure1_experiment()
+
+print("minimum hazard-free cover "
+      f"({result.hazard_free_cubes} products):")
+for cube in result.hazard_free_cover:
+    print(f"   {cube.input_string()}")
+print(f"minimum unconstrained cover ({result.plain_cubes} products):")
+for cube in result.plain_cover:
+    print(f"   {cube.input_string()}")
+
+print("\nwhy the 4-product cover is rejected (Theorem 2.11):")
+for violation in verify_hazard_free_cover(instance, result.plain_cover, collect_all=True)[:4]:
+    print(f"   {violation}")
+
+print("\nMonte-Carlo delay simulation (400 random delay assignments per transition):")
+net_plain = SopNetwork(result.plain_cover)
+net_hf = SopNetwork(result.hazard_free_cover)
+for t in instance.transitions:
+    glitch_plain = find_glitch(net_plain, t, trials=400)
+    glitch_hf = find_glitch(net_hf, t, trials=400)
+    plain_str = "GLITCHES" if glitch_plain else "clean"
+    assert glitch_hf is None
+    print(f"   {t}:  4-product cover {plain_str:8s} | 5-product cover clean")
+
+print("\npaper's Figure 1: minimal hazard-free cover 5 products, "
+      "minimal non-hazard-free cover 4 products — reproduced.")

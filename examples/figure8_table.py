@@ -1,0 +1,15 @@
+"""Regenerate the paper's Figure 8 table (exact vs Espresso-HF).
+
+Runs the exact flow (under a stage budget standing in for the paper's
+40-hour limit) and Espresso-HF over the fifteen-circuit suite and prints
+the comparison table.  Expect a few minutes of runtime; pass circuit names
+to run a subset:
+
+    python examples/figure8_table.py dram-ctrl stetson-p3
+"""
+
+import sys
+
+from repro.bench.figure8 import main
+
+main(sys.argv[1:])

@@ -1,0 +1,26 @@
+"""Regenerate the frozen PLA corpus under data/benchmarks/.
+
+Run after intentional changes to the benchmark generator:
+
+    python scripts/freeze_corpus.py
+"""
+
+from pathlib import Path
+
+from repro.bm.benchmarks import BENCHMARKS, build_benchmark
+from repro.pla import write_pla
+
+
+def main() -> None:
+    out_dir = Path("data/benchmarks")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for bench in BENCHMARKS:
+        instance = build_benchmark(bench.name)
+        path = out_dir / f"{bench.name}.pla"
+        write_pla(instance, path)
+        print(f"wrote {path} ({instance.n_inputs}/{instance.n_outputs}, "
+              f"{len(instance.transitions)} transitions)")
+
+
+if __name__ == "__main__":
+    main()

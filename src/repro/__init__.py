@@ -1,0 +1,61 @@
+"""repro — Espresso-HF: heuristic hazard-free two-level logic minimization.
+
+Reproduction of Theobald, Nowick & Wu, "Espresso-HF: A Heuristic Hazard-Free
+Minimizer for Two-Level Logic", DAC 1996.
+
+The most common entry points are re-exported here::
+
+    from repro import Cover, HazardFreeInstance, Transition, espresso_hf
+
+    on  = Cover.from_strings(["-1--", "1-0-", "0-00"])
+    off = Cover.from_strings(["-01-", "0001"])
+    instance = HazardFreeInstance(on, off, [Transition((0,1,0,0), (0,0,0,1))])
+    result = espresso_hf(instance)
+
+Package map
+-----------
+
+* :mod:`repro.cubes` — cube/cover algebra (bitmask positional-cube notation).
+* :mod:`repro.espresso` — Espresso-II substrate and baseline minimizer.
+* :mod:`repro.mincov` — unate covering solver (exact + greedy).
+* :mod:`repro.hazards` — transitions, required/privileged cubes,
+  ``supercube_dhf``, the Theorem 2.11 verifier, Theorem 4.1 existence.
+* :mod:`repro.exact` — the exact hazard-free minimizer (comparator).
+* :mod:`repro.hf` — **Espresso-HF**, the paper's algorithm.
+* :mod:`repro.pla` — PLA I/O with the ``.trans`` extension.
+* :mod:`repro.simulate` — ternary / eight-valued / Monte-Carlo / closed-loop
+  hazard analysis, VCD export.
+* :mod:`repro.bm` — burst-mode specs, synthesis, controller library, the
+  synthetic benchmark suite.
+* :mod:`repro.report` — statistics and PLA-area reporting.
+* :mod:`repro.bench` — harnesses regenerating the paper's tables/figures.
+"""
+
+from repro.cubes import Cube, Cover
+from repro.hazards import (
+    HazardFreeInstance,
+    Transition,
+    hazard_free_solution_exists,
+    verify_hazard_free_cover,
+)
+from repro.hf import espresso_hf, espresso_hf_per_output, EspressoHFOptions, NoSolutionError
+from repro.exact import exact_hazard_free_minimize, ExactBudget, ExactFailure
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cube",
+    "Cover",
+    "HazardFreeInstance",
+    "Transition",
+    "hazard_free_solution_exists",
+    "verify_hazard_free_cover",
+    "espresso_hf",
+    "espresso_hf_per_output",
+    "EspressoHFOptions",
+    "NoSolutionError",
+    "exact_hazard_free_minimize",
+    "ExactBudget",
+    "ExactFailure",
+    "__version__",
+]

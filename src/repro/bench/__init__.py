@@ -1,0 +1,23 @@
+"""Benchmark harness: regenerates every table and figure of the paper.
+
+* :mod:`repro.bench.figure1` — the cost-of-hazard-freedom example
+  (minimal hazard-free cover of 5 products vs minimal unconstrained cover
+  of 4).
+* :mod:`repro.bench.figure8` — the main experimental table: exact vs
+  Espresso-HF over the fifteen-circuit suite.
+* :mod:`repro.bench.tables` — plain-text table rendering.
+
+Each experiment is runnable standalone (``python -m repro.bench.figure8``)
+and is also wrapped by a pytest-benchmark module under ``benchmarks/``.
+"""
+
+from repro.bench.figure1 import figure1_instance, figure1_experiment
+from repro.bench.figure8 import run_figure8, Figure8Row, DEFAULT_EXACT_BUDGET
+
+__all__ = [
+    "figure1_instance",
+    "figure1_experiment",
+    "run_figure8",
+    "Figure8Row",
+    "DEFAULT_EXACT_BUDGET",
+]

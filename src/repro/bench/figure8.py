@@ -1,0 +1,171 @@
+"""The main experimental table (paper Figure 8): exact vs Espresso-HF.
+
+For every circuit of the suite this harness runs the exact flow under a
+stage budget (the stand-in for the paper's 40-hour limit) and Espresso-HF,
+then prints the paper's columns:
+
+======  ========================================================
+column  meaning
+======  ========================================================
+i/o     inputs / outputs of the minimization problem
+#p      number of dhf-prime implicants (exact flow; ``*`` = failed)
+#c      cover cardinality (per minimizer; ``*`` = failed)
+time    wall-clock seconds (the paper reports minutes on a SPARC)
+#e      number of essential equivalence classes (Espresso-HF)
+======  ========================================================
+
+Run standalone: ``python -m repro.bench.figure8 [circuit ...]``.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.bench.tables import render_table
+from repro.bm.benchmarks import BENCHMARKS, build_benchmark
+from repro.exact import exact_hazard_free_minimize, ExactBudget, ExactFailure
+from repro.hf import espresso_hf, EspressoHFOptions
+from repro.hazards.verify import verify_hazard_free_cover
+
+#: Stage budgets standing in for the paper's 40-hour exact-minimizer limit.
+DEFAULT_EXACT_BUDGET = ExactBudget(
+    prime_limit=50_000,
+    transform_limit=100_000,
+    covering_node_limit=300_000,
+    time_limit_s=60.0,
+)
+
+
+@dataclass
+class Figure8Row:
+    """One line of the comparison table."""
+
+    name: str
+    n_inputs: int
+    n_outputs: int
+    exact_num_dhf_primes: Optional[int]
+    exact_num_cubes: Optional[int]
+    exact_time_s: Optional[float]
+    exact_failure_stage: Optional[str]
+    hf_num_essential: int
+    hf_num_cubes: int
+    hf_time_s: float
+    hf_verified: bool
+
+    @property
+    def exact_solved(self) -> bool:
+        return self.exact_failure_stage is None
+
+    def cells(self) -> List[object]:
+        star = "*"
+        return [
+            self.name,
+            f"{self.n_inputs}/{self.n_outputs}",
+            self.exact_num_dhf_primes if self.exact_solved else star,
+            self.exact_num_cubes if self.exact_solved else star,
+            f"{self.exact_time_s:.1f}" if self.exact_solved else star,
+            self.hf_num_essential,
+            self.hf_num_cubes,
+            f"{self.hf_time_s:.1f}",
+        ]
+
+
+def run_figure8(
+    names: Optional[List[str]] = None,
+    exact_budget: Optional[ExactBudget] = None,
+    hf_options: Optional[EspressoHFOptions] = None,
+    verify: bool = True,
+) -> List[Figure8Row]:
+    """Run the full comparison; returns one row per circuit."""
+    budget = exact_budget or DEFAULT_EXACT_BUDGET
+    selected = BENCHMARKS if names is None else [
+        b for b in BENCHMARKS if b.name in set(names)
+    ]
+    rows: List[Figure8Row] = []
+    for bench in selected:
+        instance = build_benchmark(bench.name)
+        try:
+            exact = exact_hazard_free_minimize(instance, budget=budget)
+            exact_primes: Optional[int] = exact.num_dhf_primes
+            exact_cubes: Optional[int] = exact.num_cubes
+            exact_time: Optional[float] = exact.runtime_s
+            exact_stage: Optional[str] = None
+            if verify:
+                assert not verify_hazard_free_cover(instance, exact.cover)
+        except ExactFailure as failure:
+            exact_primes = exact_cubes = exact_time = None
+            exact_stage = failure.stage
+        hf = espresso_hf(instance, hf_options)
+        verified = True
+        if verify:
+            verified = not verify_hazard_free_cover(instance, hf.cover)
+        rows.append(
+            Figure8Row(
+                name=bench.name,
+                n_inputs=instance.n_inputs,
+                n_outputs=instance.n_outputs,
+                exact_num_dhf_primes=exact_primes,
+                exact_num_cubes=exact_cubes,
+                exact_time_s=exact_time,
+                exact_failure_stage=exact_stage,
+                hf_num_essential=hf.num_essential_classes,
+                hf_num_cubes=hf.num_cubes,
+                hf_time_s=hf.runtime_s,
+                hf_verified=verified,
+            )
+        )
+    return rows
+
+
+def format_figure8(rows: List[Figure8Row]) -> str:
+    """Render rows in the paper's table layout."""
+    headers = ["name", "i/o", "#p", "exact #c", "exact time", "#e", "HF #c", "HF time"]
+    return render_table(
+        headers,
+        [r.cells() for r in rows],
+        title="Figure 8: exact vs Espresso-HF (times in seconds; * = exact failed)",
+    )
+
+
+def rows_to_json(rows: List[Figure8Row]) -> str:
+    """Machine-readable export of the table (for CI tracking)."""
+    import json
+    from dataclasses import asdict
+
+    return json.dumps([asdict(r) for r in rows], indent=2)
+
+
+def main(argv: Optional[List[str]] = None) -> None:  # pragma: no cover
+    args = list(argv if argv is not None else sys.argv[1:])
+    json_path = None
+    if "--json" in args:
+        idx = args.index("--json")
+        json_path = args[idx + 1]
+        del args[idx : idx + 2]
+    names = args or None
+    rows = run_figure8(names)
+    if json_path:
+        with open(json_path, "w") as fh:
+            fh.write(rows_to_json(rows))
+        print(f"wrote {json_path}")
+    print(format_figure8(rows))
+    failed = [r.name for r in rows if not r.exact_solved]
+    matched = [
+        r.name
+        for r in rows
+        if r.exact_solved and r.exact_num_cubes == r.hf_num_cubes
+    ]
+    print()
+    print(f"exact failed on : {', '.join(failed) or 'none'}")
+    print(
+        f"HF == exact minimum on {len(matched)}/{sum(1 for r in rows if r.exact_solved)} "
+        "solvable circuits"
+    )
+    bad = [r.name for r in rows if not r.hf_verified]
+    print(f"hazard-free verification: {'ALL OK' if not bad else 'FAILED: ' + str(bad)}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

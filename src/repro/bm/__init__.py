@@ -1,0 +1,38 @@
+"""Burst-mode controller substrate and benchmark instance generators.
+
+The paper evaluates on two-level hazard-free minimization problems derived
+from asynchronous burst-mode controllers.  This package provides:
+
+* :mod:`repro.bm.spec` — burst-mode machine specifications with the classic
+  well-formedness checks (maximal set property, distinguishability);
+* :mod:`repro.bm.synthesis` — Huffman-style synthesis of a spec into a
+  :class:`~repro.hazards.instance.HazardFreeInstance` (next-state and output
+  logic plus the specified multiple-input-change transitions);
+* :mod:`repro.bm.random_spec` — seeded random generators for both raw
+  instances and burst-mode specs;
+* :mod:`repro.bm.benchmarks` — the synthetic suite mirroring the paper's
+  fifteen circuits (same names and I/O dimensions; see DESIGN.md §4 for the
+  substitution rationale).
+"""
+
+from repro.bm.spec import BurstModeSpec, BurstModeState, BurstTransition, SpecError
+from repro.bm.synthesis import synthesize
+from repro.bm.random_spec import random_instance, random_burst_mode_spec
+from repro.bm.benchmarks import benchmark_suite, build_benchmark, BENCHMARKS
+from repro.bm.library import build_controller, controller_names, CONTROLLERS
+
+__all__ = [
+    "BurstModeSpec",
+    "BurstModeState",
+    "BurstTransition",
+    "SpecError",
+    "synthesize",
+    "random_instance",
+    "random_burst_mode_spec",
+    "benchmark_suite",
+    "build_benchmark",
+    "BENCHMARKS",
+    "build_controller",
+    "controller_names",
+    "CONTROLLERS",
+]

@@ -1,0 +1,155 @@
+"""The synthetic Figure 8 benchmark suite.
+
+The paper evaluates on fifteen burst-mode controller benchmarks
+(cache-ctrl, dram-ctrl, pe-send-ifc, pscsi-*, sd-control, sscsi-*,
+stetson-*).  The original PLA files are not distributed with the paper, so
+this module generates *synthetic* burst-mode controllers with the same
+names and input/output dimensions (see DESIGN.md §4): a seeded random
+burst-mode spec is synthesized (``repro.bm.synthesis``) into a hazard-free
+minimization instance whose total I/O dimensions match the paper's table
+(spec inputs + one-hot state bits = paper inputs; state bits + spec outputs
+= paper outputs).
+
+Seeds were calibrated once (``scripts/calibrate_benchmarks.py``) so that the
+total-state unrolling hits the target state count exactly and the instance
+admits a hazard-free cover; they are fixed here for reproducibility.
+
+Note: the paper's table prints full dimensions only for cache-ctrl (20/23)
+and stetson-p1 (32/33); the remaining dimensions follow the sizes these
+benchmark families have in the related literature (MINIMALIST / Theobald &
+Nowick).  EXPERIMENTS.md records this reconstruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.bm.random_spec import random_burst_mode_spec
+from repro.bm.spec import SpecError
+from repro.bm.synthesis import synthesize, SynthesisResult
+from repro.hazards.existence import hazard_free_solution_exists
+from repro.hazards.instance import HazardFreeInstance
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Recipe for one synthetic benchmark circuit."""
+
+    name: str
+    #: paper's input/output dimensions for the minimization problem
+    n_inputs: int
+    n_outputs: int
+    #: synthesized (total) state count; spec inputs = n_inputs - states etc.
+    n_states: int
+    #: spec-level machine shape
+    n_spec_states: int
+    max_burst: int
+    branching: int
+    seed: int
+    #: marks circuits the paper's exact minimizer could not solve
+    exact_failed_in_paper: Optional[str] = None  # stage name or None
+    #: fail-safe state encoding (non-one-hot codes pinned OFF); the three
+    #: paper-failing circuits keep the unreachable codes don't-care, which
+    #: is the regime where the exact flow's prime generation explodes
+    failsafe: bool = True
+
+    @property
+    def n_spec_inputs(self) -> int:
+        return self.n_inputs - self.n_states
+
+    @property
+    def n_spec_outputs(self) -> int:
+        return self.n_outputs - self.n_states
+
+
+# Calibrated suite: seeds found by scripts/calibrate_benchmarks.py.
+BENCHMARKS: List[BenchmarkSpec] = [
+    BenchmarkSpec("cache-ctrl", 20, 23, 10, 6, 3, 2, 13, "transform", failsafe=False),
+    BenchmarkSpec("dram-ctrl", 9, 10, 4, 3, 2, 2, 3),
+    BenchmarkSpec("pe-send-ifc", 12, 13, 5, 4, 3, 2, 90),
+    BenchmarkSpec("pscsi-ircv", 8, 8, 3, 2, 2, 2, 2),
+    BenchmarkSpec("pscsi-isend", 10, 10, 4, 3, 2, 2, 4),
+    BenchmarkSpec("pscsi-pscsi", 16, 17, 8, 5, 3, 2, 17, "covering", failsafe=False),
+    BenchmarkSpec("pscsi-tsend", 10, 10, 4, 3, 2, 2, 12),
+    BenchmarkSpec("pscsi-tsend-bm", 11, 11, 4, 3, 3, 2, 16),
+    BenchmarkSpec("sd-control", 18, 23, 9, 5, 3, 2, 54),
+    BenchmarkSpec("sscsi-isend-bm", 9, 9, 3, 2, 3, 2, 2),
+    BenchmarkSpec("sscsi-trcv-bm", 9, 9, 3, 2, 3, 2, 21),
+    BenchmarkSpec("sscsi-tsend-bm", 9, 9, 3, 2, 3, 2, 22),
+    BenchmarkSpec("stetson-p1", 32, 33, 14, 8, 4, 2, 18, "primes", failsafe=False),
+    BenchmarkSpec("stetson-p2", 18, 22, 9, 5, 3, 2, 32),
+    BenchmarkSpec("stetson-p3", 6, 6, 2, 2, 2, 2, 1),
+]
+
+_BY_NAME: Dict[str, BenchmarkSpec] = {b.name: b for b in BENCHMARKS}
+
+
+def find_seed(bench: BenchmarkSpec, max_seed: int = 500) -> Optional[int]:
+    """Search for a seed hitting the target state count with a solvable
+    instance (used by the calibration script)."""
+    for seed in range(max_seed):
+        try:
+            result = _build(bench, seed)
+        except SpecError:
+            continue
+        if result is None:
+            continue
+        return seed
+    return None
+
+
+def _build(bench: BenchmarkSpec, seed: int) -> Optional[SynthesisResult]:
+    spec = random_burst_mode_spec(
+        bench.n_spec_inputs,
+        bench.n_spec_outputs,
+        bench.n_spec_states,
+        seed=seed,
+        max_burst=bench.max_burst,
+        branching=bench.branching,
+    )
+    spec.name = bench.name
+    result = synthesize(
+        spec, max_synth_states=bench.n_states, failsafe=bench.failsafe
+    )
+    if result.n_synth_states != bench.n_states:
+        return None
+    if not hazard_free_solution_exists(result.instance):
+        return None
+    return result
+
+
+def build_benchmark(name: str) -> HazardFreeInstance:
+    """Build one suite instance by its paper name."""
+    bench = _BY_NAME.get(name)
+    if bench is None:
+        raise KeyError(f"unknown benchmark {name!r}; see BENCHMARKS")
+    result = _build(bench, bench.seed)
+    if result is None:
+        raise RuntimeError(
+            f"calibrated seed for {name!r} no longer reproduces the instance; "
+            "re-run scripts/calibrate_benchmarks.py"
+        )
+    assert result.instance.n_inputs == bench.n_inputs
+    assert result.instance.n_outputs == bench.n_outputs
+    return result.instance
+
+
+def build_benchmark_synthesis(name: str) -> SynthesisResult:
+    """Build one suite circuit, returning the full synthesis result
+    (instance + unrolled total-state graph, for closed-loop simulation)."""
+    bench = _BY_NAME.get(name)
+    if bench is None:
+        raise KeyError(f"unknown benchmark {name!r}; see BENCHMARKS")
+    result = _build(bench, bench.seed)
+    if result is None:
+        raise RuntimeError(
+            f"calibrated seed for {name!r} no longer reproduces the instance"
+        )
+    return result
+
+
+def benchmark_suite(names: Optional[List[str]] = None) -> List[HazardFreeInstance]:
+    """Build the whole suite (or a named subset), in table order."""
+    selected = BENCHMARKS if names is None else [_BY_NAME[n] for n in names]
+    return [build_benchmark(b.name) for b in selected]

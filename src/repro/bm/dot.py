@@ -1,0 +1,69 @@
+"""Graphviz DOT export for burst-mode specifications and total-state graphs.
+
+EDA front-ends render controller specs for review; this module emits plain
+DOT text (no graphviz dependency) for a spec's state graph and for the
+synthesized total-state (polarity-unrolled) graph.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bm.spec import BurstModeSpec
+from repro.bm.synthesis import SynthesisResult
+
+
+def _burst_label(indices, prefix: str) -> str:
+    return ", ".join(f"{prefix}{i}" for i in sorted(indices)) or "—"
+
+
+def spec_to_dot(spec: BurstModeSpec) -> str:
+    """DOT text for a burst-mode spec (states + labelled bursts)."""
+    lines: List[str] = [
+        f'digraph "{spec.name}" {{',
+        "  rankdir=LR;",
+        '  node [shape=ellipse, fontname="Helvetica"];',
+        '  edge [fontname="Helvetica", fontsize=10];',
+    ]
+    initial = spec.initial_state
+    for name in spec.states:
+        shape = ', peripheries=2' if name == initial else ""
+        lines.append(f'  "{name}" [label="{name}"{shape}];')
+    for state in spec.states.values():
+        for t in state.transitions:
+            label = (
+                f"{_burst_label(t.input_burst, 'x')} / "
+                f"{_burst_label(t.output_burst, 'y')}"
+            )
+            lines.append(f'  "{t.source}" -> "{t.target}" [label="{label}"];')
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def total_state_graph_to_dot(result: SynthesisResult) -> str:
+    """DOT text for the polarity-unrolled total-state graph."""
+    states, edges = result.unrolled()
+    name_of = {
+        s: f"{s.spec_state}@{''.join(map(str, s.inputs))}" for s in states
+    }
+    lines: List[str] = [
+        'digraph "total-states" {',
+        "  rankdir=LR;",
+        '  node [shape=box, fontname="Helvetica", fontsize=10];',
+        '  edge [fontname="Helvetica", fontsize=9];',
+    ]
+    for i, s in enumerate(states):
+        peripheries = ", peripheries=2" if i == 0 else ""
+        outs = "".join(map(str, s.outputs))
+        lines.append(
+            f'  "{name_of[s]}" [label="{name_of[s]}\\nout={outs}"{peripheries}];'
+        )
+    for src, burst, outburst, dst in edges:
+        label = (
+            f"{_burst_label(burst, 'x')} / {_burst_label(outburst, 'y')}"
+        )
+        lines.append(
+            f'  "{name_of[src]}" -> "{name_of[dst]}" [label="{label}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

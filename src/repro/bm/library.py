@@ -1,0 +1,140 @@
+"""A library of hand-written burst-mode controller specifications.
+
+Small, documented controllers in the style of the asynchronous-design
+literature the paper draws its benchmarks from (SCSI port controllers, DRAM
+controllers, communication interfaces).  Each is a valid burst-mode machine
+that synthesizes into a solvable hazard-free minimization instance; they
+are used by the examples, the test suite, and as extra benchmark fodder.
+
+All controllers use toggle-set bursts (see :mod:`repro.bm.spec`) starting
+from the all-zero input/output polarity.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.bm.spec import BurstModeSpec
+
+
+def handshake() -> BurstModeSpec:
+    """Four-phase handshake shim: `req` in, `ack` out.
+
+    The smallest interesting machine: two states, both transitions a single
+    input change with a single output change.
+    """
+    spec = BurstModeSpec(1, 1, name="handshake")
+    spec.add_state("idle")
+    spec.add_state("busy")
+    spec.add_transition("idle", "busy", input_burst={0}, output_burst={0})
+    spec.add_transition("busy", "idle", input_burst={0}, output_burst={0})
+    return spec
+
+
+def dma_controller() -> BurstModeSpec:
+    """DMA-style bus controller (the worked example of the repo).
+
+    Inputs: req, grant, done.  Outputs: busreq, xfer.
+    idle --req+/busreq+--> arbitrating --grant+/xfer+--> transfer
+    --(done+, req-)/(xfer-, busreq-)--> idle (polarities toggled).
+    """
+    req, grant, done = 0, 1, 2
+    busreq, xfer = 0, 1
+    spec = BurstModeSpec(3, 2, name="dma-controller")
+    spec.add_state("idle")
+    spec.add_state("arbitrating")
+    spec.add_state("transfer")
+    spec.add_transition("idle", "arbitrating", {req}, {busreq})
+    spec.add_transition("arbitrating", "transfer", {grant}, {xfer})
+    spec.add_transition("transfer", "idle", {done, req}, {xfer, busreq})
+    return spec
+
+
+def scsi_target_send() -> BurstModeSpec:
+    """SCSI target send port (after the pscsi-tsend benchmark family).
+
+    Inputs: cmd (start command), rdy (FIFO ready), ack (initiator ack).
+    Outputs: dreq (data request), strobe (bus strobe).
+    """
+    cmd, rdy, ack = 0, 1, 2
+    dreq, strobe = 0, 1
+    spec = BurstModeSpec(3, 2, name="scsi-target-send")
+    spec.add_state("wait_cmd")
+    spec.add_state("fetch")
+    spec.add_state("drive")
+    spec.add_state("sync")
+    spec.add_transition("wait_cmd", "fetch", {cmd}, {dreq})
+    spec.add_transition("fetch", "drive", {rdy}, {strobe})
+    spec.add_transition("drive", "sync", {ack}, {strobe, dreq})
+    # release: command withdrawn while the handshake unwinds
+    spec.add_transition("sync", "wait_cmd", {cmd, rdy, ack}, set())
+    return spec
+
+
+def dram_refresh_controller() -> BurstModeSpec:
+    """DRAM refresh arbiter (after the dram-ctrl benchmark).
+
+    Inputs: rfrq (refresh request), mrq (memory request).
+    Outputs: ras, cas, grant.
+    A refresh and a memory access contend; refresh wins from idle and the
+    machine distinguishes the two request sources via incomparable bursts
+    (maximal set property).
+    """
+    rfrq, mrq = 0, 1
+    ras, cas, grant = 0, 1, 2
+    spec = BurstModeSpec(2, 3, name="dram-refresh")
+    spec.add_state("idle")
+    spec.add_state("refresh")
+    spec.add_state("access")
+    spec.add_state("recover")
+    spec.add_transition("idle", "refresh", {rfrq}, {ras, cas})
+    spec.add_transition("idle", "access", {mrq}, {ras, grant})
+    spec.add_transition("refresh", "recover", {rfrq}, {cas})
+    spec.add_transition("access", "recover", {mrq}, {grant, cas})
+    spec.add_transition("recover", "idle", {rfrq, mrq}, {ras, cas})
+    return spec
+
+
+def pe_send_interface() -> BurstModeSpec:
+    """Processing-element send interface (after pe-send-ifc).
+
+    Inputs: send, credit, tx_done.  Outputs: valid, busy.
+    A send request arms the interface; flow-control credit launches the
+    transfer, or the requester may withdraw (two incomparable bursts leave
+    ``armed`` — the maximal set property at work).
+    """
+    send, credit, tx_done = 0, 1, 2
+    valid, busy = 0, 1
+    spec = BurstModeSpec(3, 2, name="pe-send-ifc")
+    spec.add_state("idle")
+    spec.add_state("armed")
+    spec.add_state("sending")
+    spec.add_transition("idle", "armed", {send}, {busy})
+    spec.add_transition("armed", "sending", {credit}, {valid})
+    spec.add_transition("armed", "idle", {send}, {busy})  # withdrawn
+    spec.add_transition("sending", "idle", {tx_done, send}, {valid, busy})
+    return spec
+
+
+CONTROLLERS: Dict[str, Callable[[], BurstModeSpec]] = {
+    "handshake": handshake,
+    "dma-controller": dma_controller,
+    "scsi-target-send": scsi_target_send,
+    "dram-refresh": dram_refresh_controller,
+    "pe-send-ifc": pe_send_interface,
+}
+
+
+def controller_names() -> List[str]:
+    """Names of all library controllers."""
+    return sorted(CONTROLLERS)
+
+
+def build_controller(name: str) -> BurstModeSpec:
+    """Instantiate a library controller by name."""
+    try:
+        return CONTROLLERS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown controller {name!r}; available: {controller_names()}"
+        ) from None

@@ -1,0 +1,132 @@
+"""Burst-mode asynchronous controller specifications.
+
+A burst-mode machine (Nowick/Dill style) is a Mealy machine whose
+transitions fire on *input bursts* — sets of input changes that may arrive
+in any order — and respond with an *output burst*.  Two classic
+well-formedness conditions are enforced:
+
+* **maximal set property**: no input burst leaving a state may be a subset
+  of another burst leaving the same state (otherwise the machine could fire
+  early on a partial burst);
+* **non-empty input bursts**: every transition must be triggered by at
+  least one input change.
+
+Bursts are modelled as *toggle sets* (indices of signals that change);
+signal polarities are tracked by the synthesis walk, which also verifies
+entry-point consistency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+
+class SpecError(ValueError):
+    """Raised for malformed burst-mode specifications."""
+
+
+@dataclass(frozen=True)
+class BurstTransition:
+    """One specified burst: toggle ``input_burst``, then toggle ``output_burst``."""
+
+    source: str
+    target: str
+    input_burst: FrozenSet[int]
+    output_burst: FrozenSet[int]
+
+    def __str__(self) -> str:
+        ins = ",".join(f"x{i}" for i in sorted(self.input_burst))
+        outs = ",".join(f"y{j}" for j in sorted(self.output_burst)) or "-"
+        return f"{self.source} --[{ins} / {outs}]--> {self.target}"
+
+
+@dataclass
+class BurstModeState:
+    """A named state and its outgoing bursts."""
+
+    name: str
+    transitions: List[BurstTransition] = field(default_factory=list)
+
+
+class BurstModeSpec:
+    """A burst-mode machine specification."""
+
+    def __init__(
+        self,
+        n_inputs: int,
+        n_outputs: int,
+        name: str = "bm",
+        initial_state: Optional[str] = None,
+        initial_inputs: Optional[Tuple[int, ...]] = None,
+        initial_outputs: Optional[Tuple[int, ...]] = None,
+    ):
+        if n_inputs < 1:
+            raise SpecError("a burst-mode machine needs at least one input")
+        self.n_inputs = n_inputs
+        self.n_outputs = n_outputs
+        self.name = name
+        self.states: Dict[str, BurstModeState] = {}
+        self._initial_state = initial_state
+        self.initial_inputs = initial_inputs or tuple([0] * n_inputs)
+        self.initial_outputs = initial_outputs or tuple([0] * n_outputs)
+
+    @property
+    def initial_state(self) -> str:
+        if self._initial_state is not None:
+            return self._initial_state
+        if not self.states:
+            raise SpecError("spec has no states")
+        return next(iter(self.states))
+
+    def add_state(self, name: str) -> BurstModeState:
+        """Register a state; the first added state is the initial one."""
+        if name in self.states:
+            raise SpecError(f"duplicate state {name!r}")
+        state = BurstModeState(name)
+        self.states[name] = state
+        return state
+
+    def add_transition(
+        self,
+        source: str,
+        target: str,
+        input_burst,
+        output_burst=(),
+    ) -> BurstTransition:
+        """Add a burst transition, enforcing the maximal set property."""
+        if source not in self.states:
+            raise SpecError(f"unknown source state {source!r}")
+        if target not in self.states:
+            raise SpecError(f"unknown target state {target!r}")
+        input_burst = frozenset(input_burst)
+        output_burst = frozenset(output_burst)
+        if not input_burst:
+            raise SpecError("input burst must be non-empty")
+        if any(i < 0 or i >= self.n_inputs for i in input_burst):
+            raise SpecError("input burst index out of range")
+        if any(j < 0 or j >= self.n_outputs for j in output_burst):
+            raise SpecError("output burst index out of range")
+        for t in self.states[source].transitions:
+            if t.input_burst <= input_burst or input_burst <= t.input_burst:
+                raise SpecError(
+                    f"maximal set property violated at state {source!r}: "
+                    f"bursts {sorted(t.input_burst)} and {sorted(input_burst)}"
+                )
+        transition = BurstTransition(source, target, input_burst, output_burst)
+        self.states[source].transitions.append(transition)
+        return transition
+
+    @property
+    def n_states(self) -> int:
+        return len(self.states)
+
+    @property
+    def n_transitions(self) -> int:
+        return sum(len(s.transitions) for s in self.states.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"BurstModeSpec({self.name}: {self.n_inputs} in / {self.n_outputs} out, "
+            f"{self.n_states} states, {self.n_transitions} bursts)"
+        )

@@ -1,0 +1,263 @@
+"""Huffman-style synthesis of a burst-mode spec into a hazard-free instance.
+
+The machine is implemented as combinational next-state and output logic with
+fed-back one-hot state variables.  The *total-state graph* is unrolled first:
+a synthesized state is a triple ``(spec state, entry inputs, entry outputs)``,
+so re-entering a spec state with different signal polarities automatically
+splits it (entry-point consistency).  One-hot codes make the state part of
+every specified transition cube a fixed minterm, which keeps the value
+assignments of distinct states disjoint.
+
+For each synthesized edge ``(q, A) --burst--> (t, B)`` the combinational
+functions see the multiple-input change ``[A·code(q), B·code(q)]``:
+
+* a next-state bit ``Z_k`` holds ``code(q)_k`` on every proper sub-burst and
+  switches to ``code(t)_k`` exactly at the endpoint ``B`` (the state change
+  fires only on the complete burst);
+* an output ``Y_j`` holds its old value on sub-bursts and toggles at the
+  endpoint iff ``j`` is in the output burst.
+
+Each target's resting point ``B·code(t)`` is additionally pinned so the
+feedback loop is stable.  Everything else is don't-care.  All transitions
+are function-hazard-free by construction (the value changes only at one
+endpoint of each transition cube), which :class:`HazardFreeInstance`
+re-verifies on construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.cubes.cube import Cube
+from repro.cubes.cover import Cover
+from repro.cubes.operations import cube_sharp
+from repro.hazards.instance import HazardFreeInstance
+from repro.hazards.transitions import Transition
+from repro.bm.spec import BurstModeSpec, SpecError
+
+
+@dataclass(frozen=True)
+class _SynthState:
+    """A total state: spec state entered with concrete signal polarities."""
+
+    spec_state: str
+    inputs: Tuple[int, ...]
+    outputs: Tuple[int, ...]
+
+
+@dataclass
+class SynthesisResult:
+    """A synthesized instance plus bookkeeping about the unrolled machine."""
+
+    instance: HazardFreeInstance
+    n_synth_states: int
+    n_spec_inputs: int
+    n_spec_outputs: int
+    state_names: List[str]
+    #: the unrolled total-state graph (for closed-loop simulation)
+    _states: List["_SynthState"] = None
+    _edges: List[Tuple] = None
+
+    def unrolled(self):
+        """The total-state graph: ``(states, edges)`` where each edge is
+        ``(src, input_burst, output_burst, dst)``.  States carry concrete
+        ``inputs`` and ``outputs`` polarity tuples."""
+        return self._states, self._edges
+
+
+def synthesize(
+    spec: BurstModeSpec,
+    max_synth_states: Optional[int] = None,
+    failsafe: bool = True,
+) -> SynthesisResult:
+    """Synthesize a burst-mode spec into a :class:`HazardFreeInstance`.
+
+    The instance has ``n_inputs = spec inputs + one-hot state bits`` and
+    ``n_outputs = state bits + spec outputs`` (next-state functions first).
+    Raises :class:`SpecError` if total-state unrolling exceeds
+    ``max_synth_states`` (default ``8 * n_spec_states``).
+
+    With ``failsafe`` (the default) every output is pinned to 0 on the
+    unreachable non-one-hot state codes (zero-hot and multi-hot patterns),
+    as a fail-safe state assignment does.  This confines implicants to
+    single-state regions of the input space.  With ``failsafe=False`` the
+    unreachable codes stay don't-care, which leaves a vast implicant space —
+    the regime in which the exact minimizer's prime generation explodes.
+    These trap cubes never meet a specified transition cube, so required
+    cubes, privileged cubes and Theorem 4.1 existence are identical either
+    way; only the surrounding don't-care space differs.
+    """
+    cap = max_synth_states or 8 * max(1, spec.n_states)
+    synth_states, synth_edges = _unroll(spec, cap)
+    n_states = len(synth_states)
+    n_x = spec.n_inputs
+    n_y = spec.n_outputs
+    n_inputs = n_x + n_states
+    n_outputs = n_states + n_y
+
+    index_of = {s: k for k, s in enumerate(synth_states)}
+
+    def total_vector(x: Tuple[int, ...], state_idx: int) -> Tuple[int, ...]:
+        state_bits = [0] * n_states
+        state_bits[state_idx] = 1
+        return tuple(x) + tuple(state_bits)
+
+    def total_cube(x_cube_literals: List[int], state_idx: int) -> Cube:
+        state_lits = [1] * n_states  # LITERAL_ZERO for all state bits...
+        state_lits[state_idx] = 2  # LITERAL_ONE
+        return Cube.from_literals(
+            list(x_cube_literals) + state_lits, outbits=1, n_outputs=1
+        )
+
+    on_cubes: List[Cube] = []
+    off_cubes: List[Cube] = []
+    transitions: List[Transition] = []
+
+    def add_value(cube: Cube, out_idx: int, value: int) -> None:
+        target = on_cubes if value else off_cubes
+        target.append(
+            Cube(n_inputs, cube.inbits, 1 << out_idx, n_outputs)
+        )
+
+    seen_points = set()
+
+    def pin_rest_point(state: _SynthState) -> None:
+        """Pin Z = code(state), Y = entry outputs at a resting total state."""
+        key = state
+        if key in seen_points:
+            return
+        seen_points.add(key)
+        vec = total_vector(state.inputs, index_of[state])
+        point = Cube.minterm(vec)
+        for k in range(n_states):
+            add_value(point, k, 1 if k == index_of[state] else 0)
+        for j in range(n_y):
+            add_value(point, n_states + j, state.outputs[j])
+
+    for src, burst, outburst, dst in synth_edges:
+        q = index_of[src]
+        t = index_of[dst]
+        a = src.inputs
+        b = dst.inputs
+        t_start = total_vector(a, q)
+        t_end = total_vector(b, q)
+        transitions.append(Transition(t_start, t_end))
+        # The transition cube: burst inputs free, rest fixed at A, state = q.
+        x_lits = [0] * n_x
+        for i in range(n_x):
+            x_lits[i] = 3 if i in burst else (2 if a[i] else 1)
+        cube = total_cube(x_lits, q)
+        endpoint = Cube.minterm(t_end)
+        interior = cube_sharp(cube, endpoint)
+        # Next-state bits: hold code(q) on sub-bursts, code(t) at endpoint.
+        for k in range(n_states):
+            old = 1 if k == q else 0
+            new = 1 if k == t else 0
+            if old == new:
+                add_value(cube, k, old)
+            else:
+                for piece in interior:
+                    add_value(piece, k, old)
+                add_value(endpoint, k, new)
+        # Outputs: hold old value on sub-bursts, toggle at endpoint.
+        for j in range(n_y):
+            old = src.outputs[j]
+            new = dst.outputs[j]
+            if old == new:
+                add_value(cube, n_states + j, old)
+            else:
+                for piece in interior:
+                    add_value(piece, n_states + j, old)
+                add_value(endpoint, n_states + j, new)
+        pin_rest_point(dst)
+
+    # Initial state rest point (reachable even with no incoming edge).
+    initial = synth_states[0]
+    pin_rest_point(initial)
+
+    if failsafe:
+        # Pin all outputs to 0 on the unreachable state codes: the all-zero
+        # code, and every pair of simultaneously hot state bits.
+        all_out = (1 << n_outputs) - 1
+        zero_hot = Cube.from_literals(
+            [3] * n_x + [1] * n_states, outbits=all_out, n_outputs=n_outputs
+        )
+        off_cubes.append(zero_hot)
+        for k1 in range(n_states):
+            for k2 in range(k1 + 1, n_states):
+                lits = [3] * n_inputs
+                lits[n_x + k1] = 2
+                lits[n_x + k2] = 2
+                off_cubes.append(
+                    Cube.from_literals(lits, outbits=all_out, n_outputs=n_outputs)
+                )
+
+    on = Cover(n_inputs, (), n_outputs)
+    on.cubes = on_cubes
+    off = Cover(n_inputs, (), n_outputs)
+    off.cubes = off_cubes
+    on = on.deduplicate()
+    off = off.deduplicate()
+    instance = HazardFreeInstance(
+        on, off, _dedupe_transitions(transitions), name=spec.name
+    )
+    return SynthesisResult(
+        instance=instance,
+        n_synth_states=n_states,
+        n_spec_inputs=n_x,
+        n_spec_outputs=n_y,
+        state_names=[f"{s.spec_state}@{''.join(map(str, s.inputs))}" for s in synth_states],
+        _states=synth_states,
+        _edges=synth_edges,
+    )
+
+
+def _dedupe_transitions(transitions: List[Transition]) -> List[Transition]:
+    seen = set()
+    out = []
+    for t in transitions:
+        key = (t.start, t.end)
+        if key not in seen:
+            seen.add(key)
+            out.append(t)
+    return out
+
+
+def _unroll(spec: BurstModeSpec, cap: int):
+    """BFS over total states; returns (states, edges).
+
+    Edges are ``(src_synth, input_burst, output_burst, dst_synth)``.
+    """
+    if not spec.states:
+        raise SpecError("cannot synthesize an empty spec")
+    initial = _SynthState(
+        spec.initial_state, tuple(spec.initial_inputs), tuple(spec.initial_outputs)
+    )
+    order: List[_SynthState] = [initial]
+    seen = {initial}
+    edges = []
+    frontier = [initial]
+    while frontier:
+        state = frontier.pop(0)
+        for tr in spec.states[state.spec_state].transitions:
+            b = tuple(
+                v ^ 1 if i in tr.input_burst else v for i, v in enumerate(state.inputs)
+            )
+            y = tuple(
+                v ^ 1 if j in tr.output_burst else v
+                for j, v in enumerate(state.outputs)
+            )
+            dst = _SynthState(tr.target, b, y)
+            if dst not in seen:
+                if len(order) >= cap:
+                    raise SpecError(
+                        f"total-state unrolling exceeded {cap} states "
+                        f"(spec {spec.name!r} re-enters states with too many "
+                        "distinct polarities)"
+                    )
+                seen.add(dst)
+                order.append(dst)
+                frontier.append(dst)
+            edges.append((state, tr.input_burst, tr.output_burst, dst))
+    return order, edges

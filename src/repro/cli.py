@@ -1,0 +1,182 @@
+"""Command-line interface: ``espresso-hf``.
+
+Reads a hazard-free minimization instance from an extended PLA file
+(``.type fr`` with ``.trans`` lines, see :mod:`repro.pla`), minimizes it,
+and writes the cover back as a PLA.
+
+Examples::
+
+    espresso-hf input.pla                     # minimize, print cover
+    espresso-hf input.pla -o out.pla          # write the result
+    espresso-hf input.pla --exact             # exact flow instead
+    espresso-hf input.pla --check-existence   # Theorem 4.1 only
+    espresso-hf input.pla --verify            # re-verify via Theorem 2.11
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.exact import exact_hazard_free_minimize, ExactBudget, ExactFailure
+from repro.hazards.existence import existence_report
+from repro.hazards.verify import verify_hazard_free_cover
+from repro.hf import espresso_hf, EspressoHFOptions, NoSolutionError
+from repro.pla import read_pla, format_cover, write_pla
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="espresso-hf",
+        description="Heuristic hazard-free two-level logic minimization "
+        "(Theobald/Nowick/Wu, DAC 1996).",
+    )
+    parser.add_argument("input", help="PLA file (.type fr with .trans lines)")
+    parser.add_argument("-o", "--output", help="write the minimized cover here")
+    parser.add_argument(
+        "--exact",
+        action="store_true",
+        help="run the exact flow (all primes -> dhf-primes -> MINCOV)",
+    )
+    parser.add_argument(
+        "--exact-time-limit",
+        type=float,
+        default=300.0,
+        metavar="S",
+        help="wall-clock budget for the exact flow (default 300s)",
+    )
+    parser.add_argument(
+        "--check-existence",
+        action="store_true",
+        help="only decide whether a hazard-free cover exists (Theorem 4.1)",
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="verify the result against Theorem 2.11 after minimizing",
+    )
+    parser.add_argument(
+        "--no-essentials",
+        action="store_true",
+        help="disable essential equivalence-class detection",
+    )
+    parser.add_argument(
+        "--no-last-gasp", action="store_true", help="disable the LAST_GASP step"
+    )
+    parser.add_argument(
+        "--no-make-prime",
+        action="store_true",
+        help="skip the final MAKE_DHF_PRIME pass",
+    )
+    parser.add_argument(
+        "--stats", action="store_true", help="print per-phase statistics"
+    )
+    parser.add_argument(
+        "--report",
+        action="store_true",
+        help="print a full instance/cover report (sizes, literals, PLA area)",
+    )
+    parser.add_argument(
+        "--simulate",
+        type=int,
+        metavar="N",
+        default=0,
+        help="Monte-Carlo check the result with N random delay trials per "
+        "specified transition and output",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        pla = read_pla(args.input)
+        instance = pla.to_instance()
+    except Exception as exc:  # noqa: BLE001 - CLI boundary
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.check_existence:
+        report = existence_report(instance)
+        if report.exists:
+            print("a hazard-free cover exists")
+            return 0
+        print("NO hazard-free cover exists; offending required cubes:")
+        for q in report.failures:
+            print(f"   {q.cube.input_string()} (output {q.output})")
+        return 1
+
+    try:
+        if args.exact:
+            result = exact_hazard_free_minimize(
+                instance, budget=ExactBudget(time_limit_s=args.exact_time_limit)
+            )
+            cover = result.cover
+            if args.stats:
+                print(f"# dhf-primes: {result.num_dhf_primes}", file=sys.stderr)
+                for phase, seconds in result.phase_seconds.items():
+                    print(f"# {phase}: {seconds:.2f}s", file=sys.stderr)
+        else:
+            options = EspressoHFOptions(
+                use_essentials=not args.no_essentials,
+                use_last_gasp=not args.no_last_gasp,
+                make_prime=not args.no_make_prime,
+            )
+            result = espresso_hf(instance, options)
+            cover = result.cover
+            if args.stats:
+                print(f"# {result.summary()}", file=sys.stderr)
+                for phase, seconds in result.phase_seconds.items():
+                    print(f"# {phase}: {seconds:.2f}s", file=sys.stderr)
+    except NoSolutionError as exc:
+        print(f"no hazard-free cover exists: {exc}", file=sys.stderr)
+        return 1
+    except ExactFailure as exc:
+        print(f"exact flow failed: {exc}", file=sys.stderr)
+        return 3
+
+    if args.verify:
+        violations = verify_hazard_free_cover(instance, cover)
+        if violations:
+            print("VERIFICATION FAILED:", file=sys.stderr)
+            for v in violations:
+                print(f"   {v}", file=sys.stderr)
+            return 4
+        print("# verified hazard-free (Theorem 2.11)", file=sys.stderr)
+
+    if args.report:
+        from repro.report import minimization_report
+
+        print(minimization_report(instance, cover), file=sys.stderr)
+
+    if args.simulate > 0:
+        from repro.simulate import SopNetwork, find_glitch
+
+        glitches = 0
+        for j in range(instance.n_outputs):
+            network = SopNetwork(cover, output=j)
+            for t in instance.transitions:
+                if find_glitch(network, t, trials=args.simulate) is not None:
+                    glitches += 1
+                    print(
+                        f"GLITCH: output {j} on transition {t}", file=sys.stderr
+                    )
+        if glitches:
+            return 5
+        print(
+            f"# simulation clean ({args.simulate} delay trials per "
+            "transition/output)",
+            file=sys.stderr,
+        )
+
+    text = format_cover(cover, pla_type="f", name=f"{instance.name} minimized")
+    if args.output:
+        write_pla(cover, args.output, pla_type="f", name=f"{instance.name} minimized")
+    else:
+        print(text, end="")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Cube and cover algebra in positional-cube notation.
+
+This package is the substrate for every algorithm in the library: cubes are
+immutable bitmask-encoded products (two bits per input variable, one bit per
+output), and covers are ordered lists of cubes over a shared shape.
+
+The encoding follows Espresso's positional-cube notation:
+
+* input literal codes: ``01`` = complemented literal (admits only 0),
+  ``10`` = positive literal (admits only 1), ``11`` = don't-care,
+  ``00`` = empty (the cube denotes the empty set);
+* intersection is bitwise AND, supercube (smallest cube containing both)
+  is bitwise OR, containment is a subset test on the bits.
+"""
+
+from repro.cubes.cube import Cube, LITERAL_DC, LITERAL_EMPTY, LITERAL_ONE, LITERAL_ZERO
+from repro.cubes.cover import Cover
+from repro.cubes.operations import (
+    sharp,
+    cube_sharp,
+    consensus,
+    supercube_of,
+    minterms_of_cube,
+)
+from repro.cubes.containment import minimize_scc
+
+__all__ = [
+    "Cube",
+    "Cover",
+    "LITERAL_ZERO",
+    "LITERAL_ONE",
+    "LITERAL_DC",
+    "LITERAL_EMPTY",
+    "sharp",
+    "cube_sharp",
+    "consensus",
+    "supercube_of",
+    "minterms_of_cube",
+    "minimize_scc",
+]

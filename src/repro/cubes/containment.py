@@ -1,0 +1,48 @@
+"""Single-cube containment minimization (Espresso's SCC step)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cubes.cube import Cube
+from repro.cubes.cover import Cover
+
+
+def minimize_scc(cover: Cover) -> Cover:
+    """Remove every cube contained in another single cube of the cover.
+
+    Duplicates and empty cubes are removed as well.  The relative order of
+    surviving cubes is preserved.  This is Espresso's "single cube
+    containment" minimization — cheap, and sound because removing a contained
+    cube never changes the function.
+    """
+    survivors: List[Cube] = []
+    # Sort candidates largest-first so a contained cube is always examined
+    # after a potential container; ties broken by encoding for determinism.
+    candidates = sorted(
+        (c for c in cover if not c.is_empty),
+        key=lambda c: (-(c.num_dc()), -(c.outbits.bit_count()), c.inbits, c.outbits),
+    )
+    kept: List[Cube] = []
+    for c in candidates:
+        if any(k.contains(c) for k in kept):
+            continue
+        kept.append(c)
+    kept_set = set(kept)
+    seen = set()
+    for c in cover:
+        if c in kept_set and c not in seen:
+            survivors.append(c)
+            seen.add(c)
+    out = Cover(cover.n_inputs, (), cover.n_outputs)
+    out.cubes = survivors
+    return out
+
+
+def maximal_cubes(cubes: List[Cube]) -> List[Cube]:
+    """The maximal elements of a cube list under single-cube containment."""
+    if not cubes:
+        return []
+    cover = Cover(cubes[0].n_inputs, (), cubes[0].n_outputs)
+    cover.cubes = list(cubes)
+    return list(minimize_scc(cover))

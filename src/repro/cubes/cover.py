@@ -1,0 +1,214 @@
+"""Covers: ordered collections of cubes over a shared shape."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.cubes.cube import Cube
+
+
+class Cover:
+    """A sum-of-products cover: an ordered list of cubes of one shape.
+
+    Covers are lightweight containers; the heavyweight algorithms (tautology,
+    complement, minimization) live in :mod:`repro.espresso` and operate on
+    covers.  A cover may be used as a set of implicants of a multi-output
+    function: a cube belongs to output ``j``'s cover iff its output bit ``j``
+    is set.
+    """
+
+    __slots__ = ("n_inputs", "n_outputs", "cubes")
+
+    def __init__(self, n_inputs: int, cubes: Iterable[Cube] = (), n_outputs: int = 1):
+        self.n_inputs = n_inputs
+        self.n_outputs = n_outputs
+        self.cubes: List[Cube] = []
+        for c in cubes:
+            self.append(c)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_strings(cls, rows: Sequence[str], n_outputs: int = 1) -> "Cover":
+        """Build a cover from PLA-style rows, e.g. ``["10-1 1", "0--- 1"]``.
+
+        Rows may omit the output part for single-output covers.
+        """
+        cubes = []
+        n_inputs = None
+        for row in rows:
+            parts = row.split()
+            cube = (
+                Cube.from_string(parts[0])
+                if len(parts) == 1
+                else Cube.from_string(parts[0], parts[1])
+            )
+            if n_inputs is None:
+                n_inputs = cube.n_inputs
+            cubes.append(cube)
+        if n_inputs is None:
+            raise ValueError("cannot infer shape from an empty row list")
+        n_out = cubes[0].n_outputs
+        return cls(n_inputs, cubes, n_out)
+
+    @classmethod
+    def empty_like(cls, other: "Cover") -> "Cover":
+        """An empty cover with the same shape as ``other``."""
+        return cls(other.n_inputs, (), other.n_outputs)
+
+    def copy(self) -> "Cover":
+        clone = Cover(self.n_inputs, (), self.n_outputs)
+        clone.cubes = list(self.cubes)
+        return clone
+
+    def append(self, cube: Cube) -> None:
+        if cube.n_inputs != self.n_inputs or cube.n_outputs != self.n_outputs:
+            raise ValueError(
+                f"cube shape ({cube.n_inputs},{cube.n_outputs}) does not match "
+                f"cover shape ({self.n_inputs},{self.n_outputs})"
+            )
+        self.cubes.append(cube)
+
+    def extend(self, cubes: Iterable[Cube]) -> None:
+        for c in cubes:
+            self.append(c)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.cubes)
+
+    def __iter__(self) -> Iterator[Cube]:
+        return iter(self.cubes)
+
+    def __getitem__(self, idx):
+        return self.cubes[idx]
+
+    def __contains__(self, cube: Cube) -> bool:
+        return cube in self.cubes
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Cover):
+            return NotImplemented
+        return (
+            self.n_inputs == other.n_inputs
+            and self.n_outputs == other.n_outputs
+            and sorted(self.cubes) == sorted(other.cubes)
+        )
+
+    def __hash__(self):
+        return hash((self.n_inputs, self.n_outputs, tuple(sorted(self.cubes))))
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.cubes
+
+    def num_literals(self) -> int:
+        """Total number of input literals over all cubes (PLA area proxy)."""
+        return sum(c.num_literals() for c in self.cubes)
+
+    def evaluate(self, values: Sequence[int], output: int = 0) -> bool:
+        """Evaluate the cover's output ``output`` on a 0/1 input vector."""
+        for c in self.cubes:
+            if c.has_output(output) and c.contains_minterm(values):
+                return True
+        return False
+
+    def contains_cube(self, cube: Cube) -> bool:
+        """True iff some single cube of the cover contains ``cube``."""
+        return any(c.contains(cube) for c in self.cubes)
+
+    def intersects_cube(self, cube: Cube) -> bool:
+        """True iff some cube of the cover intersects ``cube``."""
+        return any(c.intersects(cube) for c in self.cubes)
+
+    def cubes_intersecting(self, cube: Cube) -> List[Cube]:
+        """All cover cubes that intersect ``cube``."""
+        return [c for c in self.cubes if c.intersects(cube)]
+
+    def restrict_to_output(self, j: int) -> "Cover":
+        """The single-output cover of output ``j`` (cubes with bit ``j`` set)."""
+        out = Cover(self.n_inputs, (), 1)
+        for c in self.cubes:
+            if c.has_output(j):
+                out.append(Cube(self.n_inputs, c.inbits, 1, 1))
+        return out
+
+    # ------------------------------------------------------------------
+    # Simple transforms
+    # ------------------------------------------------------------------
+
+    def without(self, cube: Cube) -> "Cover":
+        """A copy of the cover with one occurrence of ``cube`` removed."""
+        out = self.copy()
+        out.cubes.remove(cube)
+        return out
+
+    def deduplicate(self) -> "Cover":
+        """Remove exact duplicate cubes, preserving first-seen order."""
+        seen = set()
+        out = Cover(self.n_inputs, (), self.n_outputs)
+        for c in self.cubes:
+            if c not in seen:
+                seen.add(c)
+                out.append(c)
+        return out
+
+    def drop_empty(self) -> "Cover":
+        """Remove cubes that denote the empty set."""
+        out = Cover(self.n_inputs, (), self.n_outputs)
+        for c in self.cubes:
+            if not c.is_empty:
+                out.append(c)
+        return out
+
+    def sorted(self) -> "Cover":
+        """A deterministically ordered copy (by cube encoding)."""
+        out = Cover(self.n_inputs, (), self.n_outputs)
+        out.cubes = sorted(self.cubes)
+        return out
+
+    def cofactor(self, cube: Cube) -> "Cover":
+        """Shannon cofactor of the cover with respect to ``cube``."""
+        out = Cover(self.n_inputs, (), self.n_outputs)
+        for c in self.cubes:
+            cf = c.cofactor(cube)
+            if cf is not None:
+                out.append(cf)
+        return out
+
+    # ------------------------------------------------------------------
+    # Brute-force semantics (test oracles; exponential in n_inputs)
+    # ------------------------------------------------------------------
+
+    def on_set_vectors(self, output: int = 0) -> List[Tuple[int, ...]]:
+        """All input vectors on which output ``output`` evaluates to 1."""
+        import itertools
+
+        return [
+            vec
+            for vec in itertools.product((0, 1), repeat=self.n_inputs)
+            if self.evaluate(vec, output)
+        ]
+
+    def semantically_equal(self, other: "Cover") -> bool:
+        """Exhaustive functional equality check (small ``n_inputs`` only)."""
+        import itertools
+
+        if self.n_inputs != other.n_inputs or self.n_outputs != other.n_outputs:
+            return False
+        for vec in itertools.product((0, 1), repeat=self.n_inputs):
+            for j in range(self.n_outputs):
+                if self.evaluate(vec, j) != other.evaluate(vec, j):
+                    return False
+        return True
+
+    def __str__(self) -> str:
+        return "\n".join(str(c) for c in self.cubes)
+
+    def __repr__(self) -> str:
+        return f"Cover(n_inputs={self.n_inputs}, n_outputs={self.n_outputs}, cubes={len(self.cubes)})"

@@ -1,0 +1,114 @@
+"""Classic cube-algebra operations: sharp, consensus, supercube folds."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.cubes.cube import Cube
+from repro.cubes.cover import Cover
+
+
+def cube_sharp(a: Cube, b: Cube) -> List[Cube]:
+    """The sharp product ``a # b``: maximal subcubes of ``a`` disjoint from ``b``.
+
+    Returns a (possibly overlapping) list of cubes whose union is exactly the
+    set difference ``a \\ b``.  If the cubes do not intersect the result is
+    ``[a]``; if ``b`` contains ``a`` the result is empty.
+    """
+    if not a.intersects(b):
+        return [] if a.is_empty else [a]
+    result: List[Cube] = []
+    if a.n_outputs > 1:
+        remaining_out = a.outbits & ~b.outbits
+        if remaining_out:
+            result.append(a.with_outputs(remaining_out))
+    for i in range(a.n_inputs):
+        keep = a.literal(i) & ~b.literal(i) & 3
+        if keep:
+            result.append(a.with_literal(i, keep))
+    return result
+
+
+def sharp(cover: Cover, sub: Cube) -> Cover:
+    """Sharp a whole cover against one cube (union of per-cube sharps)."""
+    out = Cover(cover.n_inputs, (), cover.n_outputs)
+    for c in cover:
+        out.extend(cube_sharp(c, sub))
+    return out
+
+
+def sharp_cover(cover: Cover, subtrahend: Cover) -> Cover:
+    """Sharp a cover against a cover: ``cover \\ subtrahend`` as a cube list.
+
+    The result is not minimized; callers usually follow with single-cube
+    containment minimization.
+    """
+    current = cover.copy()
+    for b in subtrahend:
+        current = sharp(current, b)
+        if current.is_empty:
+            break
+    return current
+
+
+def consensus(a: Cube, b: Cube) -> Optional[Cube]:
+    """The consensus cube of ``a`` and ``b`` (``None`` when undefined).
+
+    The consensus is defined when the cubes have distance exactly 1:
+
+    * conflict on one input variable: that variable is raised to the union of
+      its literals, all other parts are intersected;
+    * conflict on the output part only (multi-output): inputs are intersected
+      and the output parts are united.
+    """
+    meet_in = a.inbits & b.inbits
+    from repro.cubes.cube import empty_pairs
+
+    conflicts = empty_pairs(meet_in, a.n_inputs)
+    n_in_conflicts = conflicts.bit_count()
+    out_meet = a.outbits & b.outbits
+    out_disjoint = out_meet == 0 and a.n_outputs > 1
+    if n_in_conflicts + (1 if out_disjoint else 0) != 1:
+        return None
+    if n_in_conflicts == 1:
+        var = (conflicts & -conflicts).bit_length() // 2
+        union_lit = (a.literal(var) | b.literal(var)) & 3
+        inter = Cube(a.n_inputs, meet_in, out_meet if a.n_outputs > 1 else (a.outbits & b.outbits), a.n_outputs)
+        return inter.with_literal(var, union_lit)
+    # Output conflict only: inputs intersect, outputs unioned.
+    return Cube(a.n_inputs, meet_in, a.outbits | b.outbits, a.n_outputs)
+
+
+def supercube_of(cubes: Iterable[Cube]) -> Optional[Cube]:
+    """The smallest cube containing every cube in the iterable (None if empty)."""
+    result: Optional[Cube] = None
+    for c in cubes:
+        result = c if result is None else result.supercube(c)
+    return result
+
+
+def minterms_of_cube(cube: Cube) -> List[Tuple[int, ...]]:
+    """All 0/1 input vectors inside the cube (exponential in free vars)."""
+    return list(cube.minterm_vectors())
+
+
+def transition_cube(a: Sequence[int], b: Sequence[int], n_outputs: int = 1, outbits: int = 1) -> Cube:
+    """The transition cube ``[A, B]`` for two input minterms.
+
+    Contains every minterm reachable while the inputs change monotonically
+    from ``A`` to ``B``: variable ``i``'s literal is ``A_i + B_i``.
+    """
+    if len(a) != len(b):
+        raise ValueError("start and end points must have the same width")
+    inbits = 0
+    for i, (va, vb) in enumerate(zip(a, b)):
+        lit = 0
+        for v in (va, vb):
+            lit |= 2 if v else 1
+        inbits |= lit << (2 * i)
+    return Cube(len(a), inbits, outbits, n_outputs)
+
+
+def changing_vars(a: Sequence[int], b: Sequence[int]) -> Tuple[int, ...]:
+    """Indices of input variables that differ between two minterms."""
+    return tuple(i for i, (va, vb) in enumerate(zip(a, b)) if va != vb)

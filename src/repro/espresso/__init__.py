@@ -1,0 +1,27 @@
+"""Espresso-II substrate and baseline two-level minimizer.
+
+Provides the classic unate-recursive operations (tautology, complement),
+all-prime-implicant generation, the Quine-McCluskey exact oracle, and the
+Espresso-II heuristic loop (EXPAND / REDUCE / IRREDUNDANT / ESSENTIALS /
+LAST_GASP).  Espresso-HF (:mod:`repro.hf`) reuses this package's covering
+solver and mirrors its loop structure under hazard-free constraints.
+"""
+
+from repro.espresso.tautology import tautology, cover_contains_cube
+from repro.espresso.complement import complement, complement_cube
+from repro.espresso.primes import all_primes, all_primes_multi
+from repro.espresso.espresso import espresso, EspressoOptions
+from repro.espresso.qm import quine_mccluskey, exact_minimize
+
+__all__ = [
+    "tautology",
+    "cover_contains_cube",
+    "complement",
+    "complement_cube",
+    "all_primes",
+    "all_primes_multi",
+    "espresso",
+    "EspressoOptions",
+    "quine_mccluskey",
+    "exact_minimize",
+]

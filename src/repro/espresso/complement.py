@@ -1,0 +1,83 @@
+"""Unate-recursive complementation (Espresso's COMPLEMENT operator)."""
+
+from __future__ import annotations
+
+
+from repro.cubes.cube import Cube, LITERAL_DC, LITERAL_ONE, LITERAL_ZERO, full_input_mask
+from repro.cubes.cover import Cover
+from repro.cubes.containment import minimize_scc
+from repro.espresso.unate import select_binate_var, select_active_var
+
+
+def complement_cube(cube: Cube) -> Cover:
+    """De Morgan complement of a single cube (one cube per specified literal).
+
+    Output parts are ignored; the result is a single-output-style cover of
+    the input-space complement.
+    """
+    out = Cover(cube.n_inputs, (), cube.n_outputs)
+    full_out = (1 << cube.n_outputs) - 1
+    for i in range(cube.n_inputs):
+        lit = cube.literal(i)
+        if lit == LITERAL_DC:
+            continue
+        flipped = (~lit) & 3
+        if flipped == 0:
+            # EMPTY literal: the cube is empty, its complement is universal.
+            return Cover(cube.n_inputs, [Cube.full(cube.n_inputs, cube.n_outputs)], cube.n_outputs)
+        out.append(Cube.full(cube.n_inputs, cube.n_outputs).with_literal(i, flipped))
+    if cube.is_empty and not out.cubes:
+        out.append(Cube.full(cube.n_inputs, cube.n_outputs))
+    return out
+
+
+def complement(cover: Cover) -> Cover:
+    """The complement of the cover's input-space union, as a cover.
+
+    Output parts are ignored (single-output semantics); for multi-output
+    functions complement each output's restriction separately.  Uses the
+    unate-recursive paradigm with merge-by-containment at each node, followed
+    by single-cube-containment minimization.
+    """
+    result = _complement_rec(cover)
+    return minimize_scc(result)
+
+
+def _complement_rec(cover: Cover) -> Cover:
+    n = cover.n_inputs
+    full = full_input_mask(n)
+    live = [c for c in cover if not c.is_empty]
+    if not live:
+        return Cover(n, [Cube.full(n, cover.n_outputs)], cover.n_outputs)
+    if any(c.inbits == full for c in live):
+        return Cover(n, (), cover.n_outputs)
+    if len(live) == 1:
+        return complement_cube(live[0])
+    work = Cover(n, (), cover.n_outputs)
+    work.cubes = live
+    var = select_binate_var(work)
+    if var is None:
+        var = select_active_var(work)
+        if var is None:  # pragma: no cover - all-DC rows caught above
+            return Cover(n, (), cover.n_outputs)
+    comp0 = _complement_rec(_lit_cofactor(work, var, 0))
+    comp1 = _complement_rec(_lit_cofactor(work, var, 1))
+    out = Cover(n, (), cover.n_outputs)
+    # Merge: x'·comp0 + x·comp1, lifting cubes that appear on both sides.
+    ones = {c.inbits for c in comp1}
+    for c in comp0:
+        if c.inbits in ones:
+            out.append(c)  # appears in both branches: keep free of the split var
+        else:
+            out.append(c.with_literal(var, LITERAL_ZERO))
+    zeros = {c.inbits for c in comp0}
+    for c in comp1:
+        if c.inbits not in zeros:
+            out.append(c.with_literal(var, LITERAL_ONE))
+    return out
+
+
+def _lit_cofactor(cover: Cover, var: int, value: int) -> Cover:
+    lit = LITERAL_ONE if value else LITERAL_ZERO
+    point = Cube.full(cover.n_inputs, cover.n_outputs).with_literal(var, lit)
+    return cover.cofactor(point)

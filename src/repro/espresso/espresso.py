@@ -1,0 +1,134 @@
+"""The Espresso-II heuristic two-level minimizer (baseline, non-hazard-free).
+
+This is the algorithm Espresso-HF is modelled on (paper §3.1): iterate
+EXPAND / REDUCE / IRREDUNDANT until the cover stops shrinking, escape local
+minima with LAST_GASP, and pull out essential primes early to shrink the
+problem.  Single-output semantics; multi-output functions are minimized per
+output by :func:`espresso_multi`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cubes.cube import Cube
+from repro.cubes.cover import Cover
+from repro.cubes.containment import minimize_scc
+from repro.espresso.complement import complement
+from repro.espresso.essential import essential_primes
+from repro.espresso.expand import expand_cover
+from repro.espresso.irredundant import irredundant_cover
+from repro.espresso.lastgasp import last_gasp
+from repro.espresso.reduce_ import reduce_cover
+from repro.espresso.tautology import cover_contains_cube
+
+
+@dataclass
+class EspressoOptions:
+    """Tuning knobs for the Espresso loop."""
+
+    use_essentials: bool = True
+    use_last_gasp: bool = True
+    max_iterations: int = 20
+
+
+def espresso(
+    on: Cover,
+    dc: Optional[Cover] = None,
+    off: Optional[Cover] = None,
+    options: Optional[EspressoOptions] = None,
+) -> Cover:
+    """Minimize a single-output cover heuristically (Espresso-II).
+
+    ``on`` is the initial ON-set cover; ``dc`` the optional don't-care cover;
+    ``off`` the OFF-set (computed by complementation when omitted).  Returns
+    a prime, irredundant cover of the ON-set within ON∪DC.
+    """
+    if on.n_outputs != 1:
+        raise ValueError("espresso() is single-output; use espresso_multi()")
+    options = options or EspressoOptions()
+    if off is None:
+        union = on.copy()
+        if dc is not None:
+            union.extend(dc.cubes)
+        off = complement(union)
+    f = minimize_scc(on)
+    if f.is_empty:
+        return f
+    f = expand_cover(f, off)
+    f = minimize_scc(f)
+    f = irredundant_cover(f, dc)
+
+    essentials: List[Cube] = []
+    working_dc = dc.copy() if dc is not None else Cover(on.n_inputs, (), on.n_outputs)
+    if options.use_essentials:
+        essentials = essential_primes(f, dc)
+        if essentials:
+            keep = [c for c in f.cubes if c not in essentials]
+            f = Cover(on.n_inputs, keep, on.n_outputs)
+            working_dc.extend(essentials)
+
+    for _ in range(options.max_iterations):
+        size_outer = len(f)
+        while True:
+            size_inner = len(f)
+            f = reduce_cover(f, working_dc)
+            f = expand_cover(f, off)
+            f = minimize_scc(f)
+            f = irredundant_cover(f, working_dc)
+            if len(f) >= size_inner:
+                break
+        if options.use_last_gasp:
+            f = last_gasp(f, working_dc, off)
+        if len(f) >= size_outer:
+            break
+
+    f = f.copy()
+    f.extend(essentials)
+    f = minimize_scc(f)
+    return f
+
+
+def espresso_multi(
+    on: Cover,
+    dc: Optional[Cover] = None,
+    options: Optional[EspressoOptions] = None,
+) -> Cover:
+    """Minimize a multi-output cover, one output at a time.
+
+    Cubes with identical input parts across outputs are merged afterwards so
+    shared AND terms are counted once, approximating true multi-output
+    minimization (full multi-valued Espresso is outside this baseline's
+    scope; Espresso-HF itself is natively multi-output).
+    """
+    merged: dict = {}
+    for j in range(on.n_outputs):
+        on_j = on.restrict_to_output(j)
+        dc_j = dc.restrict_to_output(j) if dc is not None else None
+        result = espresso(on_j, dc_j, options=options)
+        for c in result:
+            merged[c.inbits] = merged.get(c.inbits, 0) | (1 << j)
+    out = Cover(on.n_inputs, (), on.n_outputs)
+    for inbits, outbits in sorted(merged.items()):
+        out.append(Cube(on.n_inputs, inbits, outbits, on.n_outputs))
+    return out
+
+
+def is_cover_of(candidate: Cover, on: Cover, dc: Optional[Cover] = None, off: Optional[Cover] = None) -> bool:
+    """Check that ``candidate`` covers ``on`` and avoids the OFF-set.
+
+    Used as a verification oracle by tests and the benchmark harness.
+    """
+    for c in on:
+        if not cover_contains_cube(candidate, c):
+            return False
+    if off is None:
+        union = on.copy()
+        if dc is not None:
+            union.extend(dc.cubes)
+        off = complement(union)
+    for c in candidate:
+        if any(c.intersects_input(o) for o in off):
+            return False
+    return True

@@ -1,0 +1,42 @@
+"""Essential prime detection (Espresso's ESSEN step)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cubes.cube import Cube
+from repro.cubes.cover import Cover
+from repro.cubes.operations import consensus
+from repro.espresso.tautology import cover_contains_cube
+
+
+def essential_primes(cover: Cover, dc: Optional[Cover] = None) -> List[Cube]:
+    """The essential primes among the cubes of a prime cover.
+
+    Uses the classic consensus-based test (Brayton et al.): a prime ``p`` is
+    essential iff it is *not* covered by ``H = ∪ cons(d, p)`` over all cubes
+    ``d`` of the other primes plus the don't-care set, where ``cons(d, p)``
+    is ``d`` itself when the cubes intersect, their consensus when they are
+    at distance one, and empty otherwise.  ``H`` over-approximates the part
+    of ``p`` reachable by other implicants, so a prime not covered by ``H``
+    owns an ON-minterm no other prime can cover.
+
+    The input cover must consist of primes for the result to be meaningful.
+    """
+    essentials: List[Cube] = []
+    for idx, p in enumerate(cover.cubes):
+        h = Cover(cover.n_inputs, (), cover.n_outputs)
+        rest = [c for k, c in enumerate(cover.cubes) if k != idx]
+        if dc is not None:
+            rest = rest + list(dc.cubes)
+        for d in rest:
+            dist = d.input_distance(p)
+            if dist == 0:
+                h.append(d)
+            elif dist == 1:
+                cons = consensus(d, p)
+                if cons is not None:
+                    h.append(cons)
+        if not cover_contains_cube(h, p):
+            essentials.append(p)
+    return essentials

@@ -1,0 +1,37 @@
+"""Espresso-II IRREDUNDANT: drop cubes covered by the rest of the cover."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cubes.cover import Cover
+from repro.espresso.tautology import cover_contains_cube
+
+
+def irredundant_cover(cover: Cover, dc: Optional[Cover] = None) -> Cover:
+    """An irredundant subset of ``cover`` with the same ON-set coverage.
+
+    Cubes are examined smallest-first; a cube is dropped when the remaining
+    cubes plus the don't-care set still cover it.  A single ordered pass
+    yields an irredundant cover: a cube kept at its turn covers some point
+    unique with respect to the then-current cover, and later deletions only
+    shrink that cover further, so the kept cube stays necessary.
+    """
+    order = sorted(
+        range(len(cover.cubes)),
+        key=lambda i: (cover.cubes[i].num_dc(), cover.cubes[i].inbits),
+    )
+    cubes = list(cover.cubes)
+    for idx in order:
+        cube = cubes[idx]
+        if cube is None:
+            continue
+        rest = Cover(cover.n_inputs, (), cover.n_outputs)
+        rest.cubes = [c for k, c in enumerate(cubes) if c is not None and k != idx]
+        if dc is not None:
+            rest.cubes = rest.cubes + list(dc.cubes)
+        if cover_contains_cube(rest, cube):
+            cubes[idx] = None
+    out = Cover(cover.n_inputs, (), cover.n_outputs)
+    out.cubes = [c for c in cubes if c is not None]
+    return out

@@ -1,0 +1,56 @@
+"""Espresso-II REDUCE: maximally shrink each cube while keeping a cover."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cubes.cube import Cube
+from repro.cubes.cover import Cover
+from repro.cubes.operations import supercube_of
+from repro.espresso.complement import complement
+
+
+def max_reduce(cube: Cube, others: Cover) -> Optional[Cube]:
+    """The smallest cube containing ``cube``'s points not covered by ``others``.
+
+    Returns ``None`` when ``others`` already covers ``cube`` entirely (the
+    cube is redundant).  This is Espresso's maximal reduction: the smallest
+    cube containing ``cube ∩ complement(others)``, computed through the
+    cofactor identity ``cube ∖ G = cube ∩ ¬(G cofactored by cube)``.
+    """
+    g_cof = others.cofactor(cube)
+    comp = complement(g_cof)
+    pieces = []
+    for c in comp:
+        meet = c.intersect(cube)
+        if not meet.is_empty:
+            pieces.append(meet)
+    if not pieces:
+        return None
+    return supercube_of(pieces)
+
+
+def reduce_cover(cover: Cover, dc: Optional[Cover] = None) -> Cover:
+    """Reduce every cube in turn (largest first), keeping the union a cover.
+
+    Each cube is replaced by its maximal reduction against all *current*
+    other cubes plus the don't-care set, so the overall ON-set coverage is
+    preserved at every step.
+    """
+    order = sorted(
+        range(len(cover.cubes)),
+        key=lambda i: (-cover.cubes[i].num_dc(), cover.cubes[i].inbits),
+    )
+    cubes = list(cover.cubes)
+    for idx in order:
+        cube = cubes[idx]
+        if cube is None:
+            continue
+        others = Cover(cover.n_inputs, (), cover.n_outputs)
+        others.cubes = [c for k, c in enumerate(cubes) if c is not None and k != idx]
+        if dc is not None:
+            others.cubes = others.cubes + list(dc.cubes)
+        cubes[idx] = max_reduce(cube, others)
+    out = Cover(cover.n_inputs, (), cover.n_outputs)
+    out.cubes = [c for c in cubes if c is not None]
+    return out

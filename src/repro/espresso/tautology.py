@@ -1,0 +1,75 @@
+"""Unate-recursive tautology check (Espresso's TAUTOLOGY operator)."""
+
+from __future__ import annotations
+
+from repro.cubes.cube import Cube, LITERAL_ONE, LITERAL_ZERO, dc_pairs, full_input_mask
+from repro.cubes.cover import Cover
+from repro.espresso.unate import select_binate_var
+
+
+def _has_universal_row(cover: Cover) -> bool:
+    full = full_input_mask(cover.n_inputs)
+    return any(c.inbits == full for c in cover)
+
+
+def tautology(cover: Cover) -> bool:
+    """True iff the union of the cover's cubes is the whole input space.
+
+    Output parts are ignored: the cover is interpreted as a single-output
+    cover (callers handling multi-output covers restrict per output first).
+    Implements the unate-recursive paradigm: terminal cases for the empty
+    cover, a universal row, vanishing minterm counts and unate covers;
+    otherwise Shannon-split on the most binate variable.
+    """
+    if _has_universal_row(cover):
+        return True
+    if cover.is_empty:
+        return False
+    n = cover.n_inputs
+    # Vanishing heuristic: not enough minterms to possibly fill the space.
+    total = 0
+    target = 1 << n
+    for c in cover:
+        total += 1 << dc_pairs(c.inbits, n).bit_count()
+        if total >= target:
+            break
+    if total < target:
+        return False
+    var = select_binate_var(cover)
+    if var is None:
+        # Unate cover with no universal row is never a tautology.
+        return False
+    return tautology(_literal_cofactor(cover, var, 0)) and tautology(
+        _literal_cofactor(cover, var, 1)
+    )
+
+
+def _literal_cofactor(cover: Cover, var: int, value: int) -> Cover:
+    """Cofactor of the cover with respect to a single literal ``x_var = value``."""
+    lit = LITERAL_ONE if value else LITERAL_ZERO
+    point = Cube.full(cover.n_inputs, cover.n_outputs).with_literal(var, lit)
+    return cover.cofactor(point)
+
+
+def cover_contains_cube(cover: Cover, cube: Cube) -> bool:
+    """True iff ``cube`` is contained in the union of the cover's cubes.
+
+    For multi-output shapes the containment is required for every output the
+    cube participates in.  This is the standard cofactor/tautology reduction:
+    ``c ⊆ F`` iff ``F`` cofactored by ``c`` is a tautology.
+    """
+    if cube.is_empty:
+        return True
+    if cover.n_outputs == 1:
+        return tautology(cover.cofactor(cube))
+    for j in range(cube.n_outputs):
+        if not cube.has_output(j):
+            continue
+        restricted = Cover(cover.n_inputs, (), cover.n_outputs)
+        for c in cover:
+            if c.has_output(j):
+                restricted.append(c)
+        probe = Cube(cube.n_inputs, cube.inbits, (1 << cover.n_outputs) - 1, cover.n_outputs)
+        if not tautology(restricted.cofactor(probe)):
+            return False
+    return True

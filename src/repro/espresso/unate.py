@@ -1,0 +1,57 @@
+"""Unateness analysis and binate splitting-variable selection."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.cubes.cube import LITERAL_DC, LITERAL_ONE, LITERAL_ZERO
+from repro.cubes.cover import Cover
+
+
+def column_counts(cover: Cover) -> List[Tuple[int, int, int]]:
+    """Per input variable, the counts ``(n_zero, n_one, n_dc)`` over all cubes."""
+    counts = [[0, 0, 0] for _ in range(cover.n_inputs)]
+    for cube in cover:
+        for i in range(cover.n_inputs):
+            lit = cube.literal(i)
+            if lit == LITERAL_ZERO:
+                counts[i][0] += 1
+            elif lit == LITERAL_ONE:
+                counts[i][1] += 1
+            elif lit == LITERAL_DC:
+                counts[i][2] += 1
+    return [tuple(c) for c in counts]
+
+
+def is_unate(cover: Cover) -> bool:
+    """True iff no input variable appears in both phases in the cover."""
+    for n_zero, n_one, _ in column_counts(cover):
+        if n_zero and n_one:
+            return False
+    return True
+
+
+def select_binate_var(cover: Cover) -> Optional[int]:
+    """The "most binate" input variable (Espresso's splitting heuristic).
+
+    Chooses the variable appearing in both phases with the largest number of
+    cubes in the minority phase (ties: most total appearances, then lowest
+    index).  Returns ``None`` when the cover is unate.
+    """
+    best: Optional[int] = None
+    best_key = None
+    for i, (n_zero, n_one, _) in enumerate(column_counts(cover)):
+        if n_zero and n_one:
+            key = (min(n_zero, n_one), n_zero + n_one)
+            if best_key is None or key > best_key:
+                best_key = key
+                best = i
+    return best
+
+
+def select_active_var(cover: Cover) -> Optional[int]:
+    """Any variable that is not don't-care in every cube (``None`` if all DC)."""
+    for i, (n_zero, n_one, _) in enumerate(column_counts(cover)):
+        if n_zero or n_one:
+            return i
+    return None

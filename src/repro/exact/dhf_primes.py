@@ -1,0 +1,135 @@
+"""Transformation of prime implicants into dhf-prime implicants.
+
+Within a prime that does not contain a privileged cube's start point, no
+subcube can contain it either, so an illegal intersection can only be
+resolved by (a) shrinking the input part to avoid the privileged cube
+entirely (the sharp operation gives the maximal such subcubes) or (b) for a
+multi-output prime, dropping the offending output.  Recursing over all
+violations and keeping the maximal survivors yields exactly the set of
+dhf-prime implicants.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cubes.cube import Cube
+from repro.cubes.cover import Cover
+from repro.cubes.containment import maximal_cubes
+from repro.cubes.operations import cube_sharp
+from repro.espresso.complement import complement
+from repro.espresso.primes import all_primes, all_primes_multi
+from repro.hazards.dhf import illegally_intersects
+from repro.hazards.instance import HazardFreeInstance, PrivilegedCube
+
+
+class DhfTransformExplosionError(RuntimeError):
+    """Raised when prime → dhf-prime transformation exceeds its budget.
+
+    This is the stage that defeated the exact minimizer on ``cache-ctrl``
+    in the paper's experiments.
+    """
+
+
+def instance_primes(
+    instance: HazardFreeInstance,
+    limit: Optional[int] = None,
+    deadline: Optional[float] = None,
+) -> List[Cube]:
+    """All (multi-output) prime implicants of the instance's function.
+
+    The implicant space of output ``j`` is the complement of its OFF-set
+    (ON ∪ don't-care), so primes are generated from those per-output covers.
+    """
+    n, m = instance.n_inputs, instance.n_outputs
+    union = Cover(n, (), m)
+    for j in range(m):
+        comp = complement(instance.off_for_output(j))
+        for c in comp:
+            union.append(Cube(n, c.inbits, 1 << j, m))
+    if m == 1:
+        return [
+            Cube(n, p.inbits, 1, 1)
+            for p in all_primes(union, limit=limit, deadline=deadline)
+        ]
+    return all_primes_multi(union, limit=limit, deadline=deadline)
+
+
+def transform_to_dhf_primes(
+    primes: Sequence[Cube],
+    instance: HazardFreeInstance,
+    limit: Optional[int] = None,
+    deadline: Optional[float] = None,
+) -> List[Cube]:
+    """All dhf-prime implicants, from the set of all primes.
+
+    ``limit`` bounds the intermediate candidate count; exceeding it raises
+    :class:`DhfTransformExplosionError`.
+    """
+    priv_by_output = [
+        instance.privileged_for_output(j) for j in range(instance.n_outputs)
+    ]
+    survivors: List[Cube] = []
+    for p in primes:
+        survivors.extend(_resolve(p, priv_by_output, instance.n_outputs))
+        if limit is not None and len(survivors) > limit:
+            raise DhfTransformExplosionError(
+                f"dhf transformation exceeded {limit} candidate cubes"
+            )
+        if deadline is not None and time.perf_counter() > deadline:
+            raise DhfTransformExplosionError(
+                "dhf transformation exceeded its deadline"
+            )
+    return maximal_cubes(survivors)
+
+
+def _first_violation(
+    cube: Cube, priv_by_output: Sequence[Sequence[PrivilegedCube]]
+) -> Optional[Tuple[PrivilegedCube, int]]:
+    probe = Cube(cube.n_inputs, cube.inbits, 1, 1)
+    for j in range(cube.n_outputs):
+        if not cube.has_output(j):
+            continue
+        for p in priv_by_output[j]:
+            if illegally_intersects(probe, p):
+                return p, j
+    return None
+
+
+def _resolve(
+    cube: Cube,
+    priv_by_output: Sequence[Sequence[PrivilegedCube]],
+    n_outputs: int,
+) -> List[Cube]:
+    violation = _first_violation(cube, priv_by_output)
+    if violation is None:
+        return [cube]
+    priv, j = violation
+    results: List[Cube] = []
+    # (a) shrink the input part to avoid the privileged cube entirely.
+    priv_as_cover_cube = Cube(cube.n_inputs, priv.cube.inbits, cube.outbits, n_outputs)
+    for piece in cube_sharp(cube, priv_as_cover_cube):
+        if piece.outbits != cube.outbits:
+            continue  # output-part sharp fragment handled by case (b)
+        results.extend(_resolve(piece, priv_by_output, n_outputs))
+    # (b) drop the offending output (multi-output only).
+    rest = cube.outbits & ~(1 << j)
+    if rest:
+        results.extend(
+            _resolve(cube.with_outputs(rest), priv_by_output, n_outputs)
+        )
+    return results
+
+
+def all_dhf_primes(
+    instance: HazardFreeInstance,
+    prime_limit: Optional[int] = None,
+    transform_limit: Optional[int] = None,
+    deadline: Optional[float] = None,
+) -> List[Cube]:
+    """All dhf-prime implicants of an instance (both exact-flow stages)."""
+    primes = instance_primes(instance, limit=prime_limit, deadline=deadline)
+    return transform_to_dhf_primes(
+        primes, instance, limit=transform_limit, deadline=deadline
+    )

@@ -1,0 +1,42 @@
+"""Hazard theory for multiple-input changes (paper §2, §3.2, §4).
+
+Defines specified input transitions, function-hazard checks, required and
+privileged cubes, dhf-implicants and the ``supercube_dhf`` operator, the
+hazard-free cover verifier (Theorem 2.11) and the existence check
+(Theorem 4.1).
+"""
+
+from repro.hazards.transitions import (
+    Transition,
+    TransitionKind,
+    classify_transition,
+    function_hazard_free,
+)
+from repro.hazards.instance import HazardFreeInstance, RequiredCube, PrivilegedCube
+from repro.hazards.required import maximal_on_subcubes, minimal_hitting_sets
+from repro.hazards.dhf import (
+    supercube_dhf,
+    is_dhf_implicant,
+    illegally_intersects,
+)
+from repro.hazards.verify import verify_hazard_free_cover, HazardFreeViolation
+from repro.hazards.existence import hazard_free_solution_exists, existence_report
+
+__all__ = [
+    "Transition",
+    "TransitionKind",
+    "classify_transition",
+    "function_hazard_free",
+    "HazardFreeInstance",
+    "RequiredCube",
+    "PrivilegedCube",
+    "maximal_on_subcubes",
+    "minimal_hitting_sets",
+    "supercube_dhf",
+    "is_dhf_implicant",
+    "illegally_intersects",
+    "verify_hazard_free_cover",
+    "HazardFreeViolation",
+    "hazard_free_solution_exists",
+    "existence_report",
+]

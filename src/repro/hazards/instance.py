@@ -1,0 +1,246 @@
+"""Hazard-free minimization problem instances.
+
+A :class:`HazardFreeInstance` bundles a (possibly multi-output) Boolean
+function — given as ON and OFF covers; everything else is don't-care — with
+a set of specified multiple-input-change transitions.  From it we derive the
+three objects every algorithm in the library consumes (paper §3.1):
+
+* the set ``Q`` of required cubes (with their output index),
+* the set ``P`` of privileged cubes with their start points,
+* the OFF-set ``R``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.cubes.cube import Cube
+from repro.cubes.cover import Cover
+from repro.espresso.tautology import tautology
+from repro.hazards.transitions import (
+    Transition,
+    TransitionKind,
+    classify_transition,
+    function_hazard_free,
+)
+from repro.hazards.required import maximal_on_subcubes
+
+
+@dataclass(frozen=True)
+class RequiredCube:
+    """A cube that must be contained in a single cube of any hazard-free cover.
+
+    ``cube`` is the input part (single-output encoding); ``output`` the index
+    of the output function it belongs to; ``transition`` the specified
+    transition it was derived from (for diagnostics).
+    """
+
+    cube: Cube
+    output: int
+    transition: Optional[Transition] = None
+
+    def __str__(self) -> str:
+        return f"req[{self.cube.input_string()} @out{self.output}]"
+
+
+@dataclass(frozen=True)
+class PrivilegedCube:
+    """A 1→0 transition cube: intersecting it without covering its start
+    point makes an implicant hazardous (Definition 2.10)."""
+
+    cube: Cube
+    start: Cube  # minterm cube of the transition's start point
+    output: int
+    transition: Optional[Transition] = None
+
+    def __str__(self) -> str:
+        return (
+            f"priv[{self.cube.input_string()} start={self.start.input_string()}"
+            f" @out{self.output}]"
+        )
+
+
+class InstanceError(ValueError):
+    """Raised when an instance violates the model's preconditions."""
+
+
+class HazardFreeInstance:
+    """A function plus specified transitions, ready for minimization.
+
+    Parameters
+    ----------
+    on, off:
+        Multi-output covers of the ON and OFF sets.  Points in neither cover
+        are don't-cares; a specified transition cube must be fully defined
+        (every point ON or OFF for every output).
+    transitions:
+        The specified multiple-input changes (shared by all outputs).
+    validate:
+        When true (default) the constructor checks well-formedness:
+        ON/OFF disjointness, full definedness on transition cubes, and
+        function-hazard freedom of every (transition, output) pair.
+    """
+
+    def __init__(
+        self,
+        on: Cover,
+        off: Cover,
+        transitions: Sequence[Transition],
+        name: str = "instance",
+        validate: bool = True,
+    ):
+        if on.n_inputs != off.n_inputs or on.n_outputs != off.n_outputs:
+            raise InstanceError("ON and OFF covers must share a shape")
+        self.on = on
+        self.off = off
+        self.transitions = list(transitions)
+        self.name = name
+        self.n_inputs = on.n_inputs
+        self.n_outputs = on.n_outputs
+        self._on_by_output = [on.restrict_to_output(j) for j in range(self.n_outputs)]
+        self._off_by_output = [off.restrict_to_output(j) for j in range(self.n_outputs)]
+        if validate:
+            self.validate()
+
+    # ------------------------------------------------------------------
+    # Function access
+    # ------------------------------------------------------------------
+
+    def on_for_output(self, j: int) -> Cover:
+        """Single-output ON cover of output ``j``."""
+        return self._on_by_output[j]
+
+    def off_for_output(self, j: int) -> Cover:
+        """Single-output OFF cover of output ``j``."""
+        return self._off_by_output[j]
+
+    def value(self, vec: Sequence[int], j: int) -> Optional[bool]:
+        """Output ``j``'s value on an input vector (None = don't-care)."""
+        if self._on_by_output[j].evaluate(vec):
+            return True
+        if self._off_by_output[j].evaluate(vec):
+            return False
+        return None
+
+    def kind(self, transition: Transition, j: int) -> TransitionKind:
+        """The transition type of output ``j`` over ``transition``."""
+        sv = self.value(transition.start, j)
+        ev = self.value(transition.end, j)
+        if sv is None or ev is None:
+            raise InstanceError(
+                f"transition {transition} endpoint undefined for output {j}"
+            )
+        return classify_transition(transition, sv, ev)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check the preconditions of the hazard-free minimization model."""
+        for j in range(self.n_outputs):
+            on_j, off_j = self._on_by_output[j], self._off_by_output[j]
+            for c in on_j:
+                for o in off_j:
+                    if c.intersects_input(o):
+                        raise InstanceError(
+                            f"ON and OFF sets of output {j} intersect: "
+                            f"{c.input_string()} ∩ {o.input_string()}"
+                        )
+        for t in self.transitions:
+            if len(t.start) != self.n_inputs:
+                raise InstanceError(f"transition {t} has wrong width")
+            t_cube = Cube(self.n_inputs, t.cube.inbits, 1, 1)
+            for j in range(self.n_outputs):
+                on_j, off_j = self._on_by_output[j], self._off_by_output[j]
+                union = Cover(self.n_inputs, (), 1)
+                union.cubes = list(on_j.cubes) + list(off_j.cubes)
+                if not tautology(union.cofactor(t_cube)):
+                    raise InstanceError(
+                        f"function not fully defined on {t} for output {j}"
+                    )
+                if not function_hazard_free(t, on_j, off_j):
+                    raise InstanceError(
+                        f"transition {t} has a function hazard on output {j}"
+                    )
+
+    # ------------------------------------------------------------------
+    # Derived sets (memoized)
+    # ------------------------------------------------------------------
+
+    def required_cubes(self) -> List[RequiredCube]:
+        """The set ``Q`` of required cubes over all outputs (Definition 2.9)."""
+        if not hasattr(self, "_required"):
+            required: List[RequiredCube] = []
+            seen = set()
+            for t in self.transitions:
+                for j in range(self.n_outputs):
+                    kind = self.kind(t, j)
+                    if kind is TransitionKind.STATIC_ONE:
+                        cubes = [t.cube]
+                    elif kind is TransitionKind.FALLING:
+                        cubes = maximal_on_subcubes(t, self._off_by_output[j])
+                    elif kind is TransitionKind.RISING:
+                        cubes = maximal_on_subcubes(
+                            t.reversed(), self._off_by_output[j]
+                        )
+                    else:
+                        continue
+                    for c in cubes:
+                        key = (c.inbits, j)
+                        if key not in seen:
+                            seen.add(key)
+                            required.append(RequiredCube(c, j, t))
+            self._required = required
+        return list(self._required)
+
+    def privileged_cubes(self) -> List[PrivilegedCube]:
+        """The set ``P`` of privileged cubes over all outputs (Definition 2.10)."""
+        if not hasattr(self, "_privileged"):
+            privileged: List[PrivilegedCube] = []
+            seen = set()
+            for t in self.transitions:
+                for j in range(self.n_outputs):
+                    kind = self.kind(t, j)
+                    if kind is TransitionKind.FALLING:
+                        norm = t
+                    elif kind is TransitionKind.RISING:
+                        norm = t.reversed()
+                    else:
+                        continue
+                    key = (norm.cube.inbits, norm.start_cube().inbits, j)
+                    if key not in seen:
+                        seen.add(key)
+                        privileged.append(
+                            PrivilegedCube(norm.cube, norm.start_cube(), j, norm)
+                        )
+            self._privileged = privileged
+        return list(self._privileged)
+
+    def privileged_for_output(self, j: int) -> List[PrivilegedCube]:
+        """Privileged cubes restricted to output ``j``."""
+        return [p for p in self.privileged_cubes() if p.output == j]
+
+    def required_for_output(self, j: int) -> List[RequiredCube]:
+        """Required cubes restricted to output ``j``."""
+        return [q for q in self.required_cubes() if q.output == j]
+
+    # ------------------------------------------------------------------
+
+    def restrict_to_output(self, j: int) -> "HazardFreeInstance":
+        """A single-output instance for output ``j`` (shared transitions)."""
+        inst = HazardFreeInstance(
+            self._on_by_output[j],
+            self._off_by_output[j],
+            self.transitions,
+            name=f"{self.name}.out{j}",
+            validate=False,
+        )
+        return inst
+
+    def __repr__(self) -> str:
+        return (
+            f"HazardFreeInstance({self.name}: {self.n_inputs} in / "
+            f"{self.n_outputs} out, {len(self.transitions)} transitions)"
+        )

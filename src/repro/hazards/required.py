@@ -1,0 +1,120 @@
+"""Required-cube generation (Definition 2.9) via minimal hitting sets.
+
+For a 1→0 transition ``[A, B]`` the required cubes are the maximal subcubes
+``[A, X]`` on which the function stays 1.  Freeing a set ``S`` of changing
+variables is safe iff the resulting cube avoids every OFF cube; an OFF cube
+``o`` meeting the transition cube blocks exactly the freed-sets
+``S ⊇ D_o = {changing i : A_i ∉ o_i}``.  The maximal safe sets are therefore
+the complements (within the changing set) of the *minimal hitting sets* of
+``{D_o}``, which we enumerate with Berge's incremental algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.cubes.cube import Cube, LITERAL_DC
+from repro.cubes.cover import Cover
+from repro.hazards.transitions import Transition
+
+
+def minimal_hitting_sets(sets: Sequence[FrozenSet[int]]) -> List[FrozenSet[int]]:
+    """All minimal hitting sets of a family of non-empty sets.
+
+    Berge's incremental construction: maintain the minimal hitting sets of a
+    prefix of the family; to add a set ``D``, extend each current hitting set
+    that misses ``D`` by every element of ``D`` and re-minimize.
+    """
+    for d in sets:
+        if not d:
+            raise ValueError("cannot hit an empty set")
+    current: List[FrozenSet[int]] = [frozenset()]
+    # Process only the minimal sets: a hitting set of D' ⊆ D also hits D.
+    pruned = _minimal_sets(sets)
+    for d in pruned:
+        extended: Set[FrozenSet[int]] = set()
+        for h in current:
+            if h & d:
+                extended.add(h)
+            else:
+                for x in d:
+                    extended.add(h | {x})
+        current = _minimal_sets(list(extended))
+    return current
+
+
+def _minimal_sets(sets: Iterable[FrozenSet[int]]) -> List[FrozenSet[int]]:
+    unique = sorted(set(sets), key=lambda s: (len(s), sorted(s)))
+    kept: List[FrozenSet[int]] = []
+    for s in unique:
+        if not any(k <= s for k in kept):
+            kept.append(s)
+    return kept
+
+
+def maximal_on_subcubes(
+    transition: Transition, off: Cover
+) -> List[Cube]:
+    """The required cubes of a 1→0 transition: maximal ON subcubes ``[A, X]``.
+
+    ``off`` is the single-output OFF cover.  The transition is assumed
+    function-hazard-free with ``f(A)=1`` and ``f(B)=0``.
+    """
+    start, end = transition.start, transition.end
+    changing = transition.changing
+    t_cube = transition.cube
+    start_cube = Cube.minterm(start)
+    blockers: List[FrozenSet[int]] = []
+    for o in off:
+        if o.is_empty or not o.intersects_input(t_cube):
+            continue
+        d = frozenset(
+            i for i in changing if not (o.literal(i) >> (1 if start[i] else 0)) & 1
+        )
+        if not d:
+            raise ValueError(
+                "OFF cube contains the start point of a 1->0 transition; "
+                "the instance is ill-formed (f(A) must be 1)"
+            )
+        blockers.append(d)
+    if not blockers:
+        raise ValueError(
+            "no OFF cube meets the transition cube of a 1->0 transition; "
+            "the end point must be OFF"
+        )
+    hitting = minimal_hitting_sets(blockers)
+    cubes: List[Cube] = []
+    changing_set = set(changing)
+    for h in hitting:
+        freed = changing_set - h
+        cube = start_cube
+        for i in freed:
+            cube = cube.with_literal(i, LITERAL_DC)
+        cubes.append(cube)
+    return sorted(cubes)
+
+
+def maximal_on_subcubes_brute(transition: Transition, on: Cover) -> List[Cube]:
+    """Exhaustive oracle for :func:`maximal_on_subcubes` (small n only).
+
+    Enumerates every subset of changing variables, keeps those whose cube
+    ``[A, X]`` lies inside the ON cover, and returns the maximal ones.
+    """
+    import itertools
+
+    start = transition.start
+    changing = transition.changing
+    good: List[Tuple[FrozenSet[int], Cube]] = []
+    for r in range(len(changing) + 1):
+        for combo in itertools.combinations(changing, r):
+            cube = Cube.minterm(start)
+            for i in combo:
+                cube = cube.with_literal(i, LITERAL_DC)
+            if all(on.evaluate(v) for v in cube.minterm_vectors()):
+                good.append((frozenset(combo), cube))
+    maximal = [
+        cube
+        for s, cube in good
+        if not any(s < s2 for s2, _ in good)
+    ]
+    return sorted(maximal)

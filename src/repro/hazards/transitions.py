@@ -1,0 +1,187 @@
+"""Specified input transitions and function-hazard analysis.
+
+A *multiple-input change* is a transition from input minterm ``A`` to ``B``;
+during the transition the inputs may change monotonically in any order, so
+the circuit can observe any minterm of the transition cube ``[A, B]``
+(Definition 2.1).  A function must change monotonically over a specified
+transition (no function hazard, Definitions 2.2/2.3) for any implementation
+to be glitch-free.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.cubes.cube import Cube
+from repro.cubes.cover import Cover
+from repro.cubes.operations import transition_cube, changing_vars
+
+
+class TransitionKind(enum.Enum):
+    """The four monotonic transition types of an output over ``[A, B]``."""
+
+    STATIC_ZERO = "0->0"
+    STATIC_ONE = "1->1"
+    FALLING = "1->0"
+    RISING = "0->1"
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A specified multiple-input change from minterm ``start`` to ``end``."""
+
+    start: Tuple[int, ...]
+    end: Tuple[int, ...]
+
+    def __post_init__(self):
+        if len(self.start) != len(self.end):
+            raise ValueError("start and end must have equal width")
+        if any(v not in (0, 1) for v in self.start + self.end):
+            raise ValueError("transition endpoints must be 0/1 vectors")
+
+    @property
+    def n_inputs(self) -> int:
+        return len(self.start)
+
+    @property
+    def cube(self) -> Cube:
+        """The transition cube ``[start, end]`` (input part only)."""
+        return transition_cube(self.start, self.end)
+
+    @property
+    def changing(self) -> Tuple[int, ...]:
+        """Indices of the input variables that change."""
+        return changing_vars(self.start, self.end)
+
+    def reversed(self) -> "Transition":
+        """The transition traversed in the opposite direction."""
+        return Transition(self.end, self.start)
+
+    def start_cube(self) -> Cube:
+        return Cube.minterm(self.start)
+
+    def end_cube(self) -> Cube:
+        return Cube.minterm(self.end)
+
+    def __str__(self) -> str:
+        return f"{''.join(map(str, self.start))}->{''.join(map(str, self.end))}"
+
+
+def classify_transition(
+    transition: Transition, start_value: bool, end_value: bool
+) -> TransitionKind:
+    """Classify an output's behaviour over a transition by its endpoint values."""
+    if start_value and end_value:
+        return TransitionKind.STATIC_ONE
+    if start_value and not end_value:
+        return TransitionKind.FALLING
+    if not start_value and end_value:
+        return TransitionKind.RISING
+    return TransitionKind.STATIC_ZERO
+
+
+def _blocker_sets(
+    start: Sequence[int],
+    end: Sequence[int],
+    cover: Cover,
+    t_cube: Cube,
+) -> list:
+    """For each cover cube meeting ``[start, end]``: the changed-variable sets.
+
+    Returns ``(D, E)`` pairs where ``D`` is the set of changing variables that
+    *must* have flipped for a point of the cube to be reached
+    (``{i : start_i ∉ cube_i}``) and ``E`` those that *may* have flipped
+    (``{i : end_i ∈ cube_i}``).  Points of the cube inside the transition
+    cube correspond exactly to changed-sets ``S`` with ``D ⊆ S ⊆ E``.
+    """
+    changing = changing_vars(start, end)
+    result = []
+    for c in cover:
+        if c.is_empty or not c.intersects_input(t_cube):
+            continue
+        d = frozenset(
+            i for i in changing if not (c.literal(i) >> (1 if start[i] else 0)) & 1
+        )
+        e = frozenset(
+            i for i in changing if (c.literal(i) >> (1 if end[i] else 0)) & 1
+        )
+        result.append((d, e))
+    return result
+
+
+def function_hazard_free(
+    transition: Transition,
+    on: Cover,
+    off: Cover,
+    kind: Optional[TransitionKind] = None,
+) -> bool:
+    """True iff the (single-output) function is function-hazard-free over the
+    transition.
+
+    ``on`` and ``off`` are the single-output ON and OFF covers.  The function
+    must be fully defined on the transition cube (checked by
+    :meth:`repro.hazards.instance.HazardFreeInstance.validate`, not here).
+
+    * static transitions: the transition cube must lie entirely in the
+      ON-set (1→1) or OFF-set (0→0);
+    * dynamic transitions (1→0 after normalization): the function must fall
+      monotonically — no OFF point of the transition cube may be reachable
+      *before* an ON point.  Using changed-variable sets this is the pair
+      condition: there must be no ON cube ``n`` and OFF cube ``o`` meeting
+      the transition cube with ``D_o ⊆ E_n``.
+    """
+    t_cube = transition.cube
+    if kind is None:
+        sv = on.evaluate(transition.start)
+        ev = on.evaluate(transition.end)
+        kind = classify_transition(transition, sv, ev)
+    if kind is TransitionKind.STATIC_ONE:
+        return not any(o.intersects_input(t_cube) for o in off if not o.is_empty)
+    if kind is TransitionKind.STATIC_ZERO:
+        return not any(c.intersects_input(t_cube) for c in on if not c.is_empty)
+    if kind is TransitionKind.RISING:
+        return function_hazard_free(
+            transition.reversed(), on, off, TransitionKind.FALLING
+        )
+    # FALLING: f(start)=1, f(end)=0.
+    off_sets = _blocker_sets(transition.start, transition.end, off, t_cube)
+    on_sets = _blocker_sets(transition.start, transition.end, on, t_cube)
+    for d_o, _ in off_sets:
+        for _, e_n in on_sets:
+            if d_o <= e_n:
+                return False
+    return True
+
+
+def function_hazard_free_brute(
+    transition: Transition, on: Cover, off: Cover
+) -> bool:
+    """Exhaustive function-hazard check (test oracle, exponential).
+
+    Walks every pair of points in the transition cube and applies
+    Definitions 2.2/2.3 directly.
+    """
+    start, end = transition.start, transition.end
+    sv, ev = on.evaluate(start), on.evaluate(end)
+
+    def value(vec):
+        return on.evaluate(vec)
+
+    def reachable_between(a, b):
+        """Minterms of [a, b]."""
+        return list(transition_cube(a, b).minterm_vectors())
+
+    points = reachable_between(start, end)
+    if sv == ev:
+        return all(value(p) == sv for p in points)
+    # dynamic: hazard iff some p with f(p)=f(end) can still reach q with
+    # f(q)=f(start)
+    for p in points:
+        if value(p) != ev:
+            continue
+        for q in reachable_between(p, end):
+            if value(q) == sv:
+                return False
+    return True

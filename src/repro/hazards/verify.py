@@ -1,0 +1,126 @@
+"""Hazard-free cover verification: the Theorem 2.11 checker.
+
+Given an instance and a candidate multi-output cover, checks the three
+conditions of the Hazard-Free Covering theorem:
+
+  (a) no cube of the cover intersects the OFF-set of its outputs;
+  (b) every required cube is contained in some single cube of the cover
+      (with a matching output);
+  (c) no cube intersects a privileged cube of one of its outputs illegally.
+
+This is the library's ground-truth oracle: every minimizer's result is
+checked against it in the test suite and the benchmark harness, and the
+gate-level simulators in :mod:`repro.simulate` provide an independent
+dynamic cross-check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cubes.cube import Cube
+from repro.cubes.cover import Cover
+from repro.hazards.dhf import illegally_intersects
+from repro.hazards.instance import HazardFreeInstance
+
+
+@dataclass(frozen=True)
+class HazardFreeViolation:
+    """One violated condition of Theorem 2.11."""
+
+    condition: str  # "off-intersection" | "uncovered-required" | "illegal-intersection"
+    output: int
+    cube: Optional[Cube] = None
+    other: Optional[Cube] = None
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return f"{self.condition}@out{self.output}: {self.detail}"
+
+
+def verify_hazard_free_cover(
+    instance: HazardFreeInstance, cover: Cover, collect_all: bool = False
+) -> List[HazardFreeViolation]:
+    """All Theorem 2.11 violations of ``cover`` (empty list = hazard-free).
+
+    With ``collect_all`` false (default) the check stops at the first
+    violation of each condition per output, which is cheaper on large
+    instances; the returned list is still empty exactly when the cover is a
+    valid hazard-free cover.
+    """
+    violations: List[HazardFreeViolation] = []
+
+    # (a) OFF-set disjointness per output.
+    for j in range(instance.n_outputs):
+        off_j = instance.off_for_output(j)
+        for c in cover:
+            if not c.has_output(j):
+                continue
+            for o in off_j:
+                if c.intersects_input(o):
+                    violations.append(
+                        HazardFreeViolation(
+                            "off-intersection",
+                            j,
+                            c,
+                            o,
+                            f"cover cube {c.input_string()} meets OFF cube "
+                            f"{o.input_string()}",
+                        )
+                    )
+                    if not collect_all:
+                        break
+            else:
+                continue
+            if not collect_all:
+                break
+
+    # (b) required-cube containment.
+    for q in instance.required_cubes():
+        contained = any(
+            c.has_output(q.output) and c.contains_input(q.cube) for c in cover
+        )
+        if not contained:
+            violations.append(
+                HazardFreeViolation(
+                    "uncovered-required",
+                    q.output,
+                    q.cube,
+                    None,
+                    f"required cube {q.cube.input_string()} not contained in "
+                    "any cover cube",
+                )
+            )
+            if not collect_all:
+                break
+
+    # (c) no illegal intersections.
+    outer_done = False
+    for p in instance.privileged_cubes():
+        for c in cover:
+            if not c.has_output(p.output):
+                continue
+            if illegally_intersects(Cube(c.n_inputs, c.inbits, 1, 1), p):
+                violations.append(
+                    HazardFreeViolation(
+                        "illegal-intersection",
+                        p.output,
+                        c,
+                        p.cube,
+                        f"cover cube {c.input_string()} illegally intersects "
+                        f"privileged cube {p.cube.input_string()} "
+                        f"(start {p.start.input_string()})",
+                    )
+                )
+                if not collect_all:
+                    outer_done = True
+                    break
+        if outer_done:
+            break
+    return violations
+
+
+def is_hazard_free_cover(instance: HazardFreeInstance, cover: Cover) -> bool:
+    """Convenience wrapper: True iff Theorem 2.11 holds for the cover."""
+    return not verify_hazard_free_cover(instance, cover)

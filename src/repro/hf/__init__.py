@@ -1,0 +1,37 @@
+"""Espresso-HF: the paper's heuristic hazard-free minimizer (§3).
+
+The algorithm follows Espresso-II's EXPAND / REDUCE / IRREDUNDANT /
+LAST_GASP loop, but every operator is re-derived around *required-cube
+covering* under dhf-implicant constraints:
+
+* the initial cover is the dhf-canonicalization of the required cubes
+  (:mod:`repro.hf.canonical`),
+* EXPAND absorbs whole cover cubes and required cubes through
+  ``supercube_dhf`` (:mod:`repro.hf.expand`),
+* essentials are detected as *equivalence classes* of dhf-primes
+  (:mod:`repro.hf.essentials`),
+* REDUCE/IRREDUNDANT/LAST_GASP are required-cube based
+  (:mod:`repro.hf.reduce_`, :mod:`repro.hf.irredundant`,
+  :mod:`repro.hf.lastgasp`),
+* a final MAKE_DHF_PRIME pass raises every cube to a dhf-prime
+  (:mod:`repro.hf.make_prime`).
+"""
+
+from repro.hf.espresso_hf import (
+    espresso_hf,
+    espresso_hf_per_output,
+    EspressoHFOptions,
+    NoSolutionError,
+)
+from repro.hf.result import HFResult
+from repro.hf.context import HFContext, TaggedRequired
+
+__all__ = [
+    "espresso_hf",
+    "espresso_hf_per_output",
+    "EspressoHFOptions",
+    "NoSolutionError",
+    "HFResult",
+    "HFContext",
+    "TaggedRequired",
+]

@@ -1,0 +1,236 @@
+"""Shared state for one Espresso-HF run.
+
+The :class:`HFContext` precomputes, from a :class:`HazardFreeInstance`, the
+objects every operator needs — per-output privileged cubes and OFF covers —
+and provides the multi-output generalization of ``supercube_dhf``: a cover
+cube participating in output set ``O`` must be a dhf-implicant with respect
+to *every* output in ``O``, so forced expansions chain across the privileged
+cubes of all of them and the result must clear every OFF-set in ``O``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.cubes.cube import Cube
+from repro.cubes.cover import Cover
+from repro.hazards.instance import HazardFreeInstance, PrivilegedCube
+
+#: cache sentinel distinguishing "not computed" from a computed ``None``
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class TaggedRequired:
+    """A canonical required cube: input part plus the output it belongs to.
+
+    ``canonical`` is ``supercube_dhf({original})`` — the unique smallest
+    dhf-implicant containing the original required cube (paper §3.2).  A
+    dhf-implicant contains the original iff it contains the canonical cube,
+    so all covering bookkeeping uses ``canonical``.
+    """
+
+    canonical: Cube  # input part, single-output encoding
+    output: int
+    original: Cube
+
+    def key(self) -> Tuple[int, int]:
+        return (self.canonical.inbits, self.output)
+
+    def __str__(self) -> str:
+        return f"{self.canonical.input_string()}@out{self.output}"
+
+
+class HFContext:
+    """Precomputed per-run state: privileged cubes, OFF covers, helpers.
+
+    ``supercube_dhf`` is the inner loop of every operator, so it works on
+    raw bitmasks and is memoized: for a fixed instance the result depends
+    only on the supercube's input bits and the output set.
+    """
+
+    def __init__(self, instance: HazardFreeInstance):
+        self.instance = instance
+        self.n_inputs = instance.n_inputs
+        self.n_outputs = instance.n_outputs
+        self.priv_by_output: List[List[PrivilegedCube]] = [
+            instance.privileged_for_output(j) for j in range(self.n_outputs)
+        ]
+        self.off_by_output: List[Cover] = [
+            instance.off_for_output(j) for j in range(self.n_outputs)
+        ]
+        from repro.cubes.cube import mask01
+
+        self._mask01 = mask01(self.n_inputs)
+        # Raw (cube bits, start bits) pairs per output, and OFF bits.
+        self._priv_bits_by_output = [
+            [(p.cube.inbits, p.start.inbits) for p in privs]
+            for privs in self.priv_by_output
+        ]
+        self._off_bits_by_output = [
+            [o.inbits for o in off if not o.is_empty] for off in self.off_by_output
+        ]
+        self._priv_bits_cache: Dict[int, List[Tuple[int, int]]] = {}
+        self._off_bits_cache: Dict[int, List[int]] = {}
+        self._supercube_cache: Dict[Tuple[int, int], Optional[int]] = {}
+
+    # ------------------------------------------------------------------
+    # supercube_dhf over an output set
+    # ------------------------------------------------------------------
+
+    def supercube_dhf(
+        self, cubes: Iterable[Cube], outbits: int
+    ) -> Optional[Cube]:
+        """Smallest input cube that is a dhf-implicant for every output in
+        ``outbits`` and contains all of ``cubes`` — or ``None``.
+
+        Input cubes may use any output encoding; only input parts are read.
+        The result is a single-output-encoded input cube.
+        """
+        r_bits = 0
+        for c in cubes:
+            r_bits |= c.inbits
+        result = self.supercube_dhf_bits(r_bits, outbits)
+        if result is None:
+            return None
+        return Cube(self.n_inputs, result, 1, 1)
+
+    def supercube_dhf_bits(self, r: int, outbits: int) -> Optional[int]:
+        """Bitmask core of ``supercube_dhf`` (memoized)."""
+        m01 = self._mask01
+        if ~(r | (r >> 1)) & m01:
+            raise ValueError("supercube_dhf of an empty cube collection")
+        key = (r, outbits)
+        cached = self._supercube_cache.get(key, _MISSING)
+        if cached is not _MISSING:
+            return cached
+        privs = self._privs_bits(outbits)
+        changed = True
+        while changed:
+            changed = False
+            for pin, sbits in privs:
+                meet = r & pin
+                if ~(meet | (meet >> 1)) & m01:
+                    continue  # no intersection with the privileged cube
+                if sbits & r == sbits:
+                    continue  # start point already contained: legal
+                r |= sbits
+                changed = True
+        result: Optional[int] = r
+        for obits in self._off_bits(outbits):
+            meet = r & obits
+            if not (~(meet | (meet >> 1)) & m01):
+                result = None
+                break
+        self._supercube_cache[key] = result
+        if result is not None and result != key[0]:
+            # The expansion chain is confluent: the grown cube maps to itself.
+            self._supercube_cache[(result, outbits)] = result
+        return result
+
+    def is_dhf_implicant(self, cube: Cube, outbits: int) -> bool:
+        """dhf-implicant test for an input cube over an output set."""
+        m01 = self._mask01
+        r = cube.inbits
+        for obits in self._off_bits(outbits):
+            meet = r & obits
+            if not (~(meet | (meet >> 1)) & m01):
+                return False
+        for pin, sbits in self._privs_bits(outbits):
+            meet = r & pin
+            if ~(meet | (meet >> 1)) & m01:
+                continue
+            if sbits & r != sbits:
+                return False
+        return True
+
+    def _outputs(self, outbits: int):
+        j = 0
+        while outbits:
+            if outbits & 1:
+                yield j
+            outbits >>= 1
+            j += 1
+
+    def _privs_bits(self, outbits: int) -> List[Tuple[int, int]]:
+        cached = self._priv_bits_cache.get(outbits)
+        if cached is None:
+            cached = []
+            for j in self._outputs(outbits):
+                cached.extend(self._priv_bits_by_output[j])
+            self._priv_bits_cache[outbits] = cached
+        return cached
+
+    def _off_bits(self, outbits: int) -> List[int]:
+        cached = self._off_bits_cache.get(outbits)
+        if cached is None:
+            cached = []
+            for j in self._outputs(outbits):
+                cached.extend(self._off_bits_by_output[j])
+            self._off_bits_cache[outbits] = cached
+        return cached
+
+    def _privs_for(self, outbits: int) -> List[PrivilegedCube]:
+        privs: List[PrivilegedCube] = []
+        for j in self._outputs(outbits):
+            privs.extend(self.priv_by_output[j])
+        return privs
+
+    # ------------------------------------------------------------------
+    # Canonical required cubes (dhf-canonicalization, §3.2)
+    # ------------------------------------------------------------------
+
+    def canonical_required(self) -> Optional[List[TaggedRequired]]:
+        """``Q_f``: the canonical required cubes, SCC-minimized per output.
+
+        Returns ``None`` when some required cube has no dhf-supercube — by
+        Theorem 4.1 the instance then has no hazard-free cover.
+        """
+        tagged: List[TaggedRequired] = []
+        for q in self.instance.required_cubes():
+            sup = self.supercube_dhf([q.cube], 1 << q.output)
+            if sup is None:
+                return None
+            tagged.append(TaggedRequired(sup, q.output, q.cube))
+        return self._scc_minimize(tagged)
+
+    @staticmethod
+    def _scc_minimize(tagged: List[TaggedRequired]) -> List[TaggedRequired]:
+        """Drop canonical cubes contained in another of the same output."""
+        by_output: Dict[int, List[TaggedRequired]] = {}
+        for t in tagged:
+            by_output.setdefault(t.output, []).append(t)
+        kept: List[TaggedRequired] = []
+        for j, group in sorted(by_output.items()):
+            group = sorted(
+                group, key=lambda t: (-t.canonical.num_dc(), t.canonical.inbits)
+            )
+            chosen: List[TaggedRequired] = []
+            for t in group:
+                if not any(k.canonical.contains_input(t.canonical) for k in chosen):
+                    chosen.append(t)
+            kept.extend(chosen)
+        return kept
+
+    # ------------------------------------------------------------------
+    # Covering helpers
+    # ------------------------------------------------------------------
+
+    def covers(self, cover_cube: Cube, req: TaggedRequired) -> bool:
+        """True iff a multi-output cover cube covers a tagged required cube."""
+        return cover_cube.has_output(req.output) and cover_cube.contains_input(
+            req.canonical
+        )
+
+    def covered_set(
+        self, cover_cube: Cube, reqs: Sequence[TaggedRequired]
+    ) -> List[TaggedRequired]:
+        """All tagged required cubes covered by ``cover_cube``."""
+        return [q for q in reqs if self.covers(cover_cube, q)]
+
+    def cube_for(self, req: TaggedRequired) -> Cube:
+        """The multi-output cover cube representing one canonical required cube."""
+        return Cube(
+            self.n_inputs, req.canonical.inbits, 1 << req.output, self.n_outputs
+        )

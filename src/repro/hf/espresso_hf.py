@@ -1,0 +1,221 @@
+"""The Espresso-HF driver (paper Figure 2).
+
+::
+
+    Espresso-HF(f, T):
+        Q  = required cubes, P = privileged cubes, R = OFF-set
+        Qf = { supercube_dhf(q) | q in Q }        # dhf-canonicalization
+        if undefined in Qf: no solution            # Theorem 4.1
+        Qf = SCC-minimize(Qf)
+        F  = Qf
+        (F, E) = expand_and_compute_essentials(F)
+        remove required cubes covered by E; F = F - E
+        F = irredundant(F)
+        do: s2 = |F|
+            do: s1 = |F|
+                F = reduce(F); F = expand(F); F = irredundant(F)
+            while |F| < s1
+            F = last_gasp(F)
+        while |F| < s2
+        F = F ∪ E
+        F = make_dhf_prime(F)
+
+The minimizer is heuristic *only in cover cardinality*: the result is always
+a hazard-free cover (checked by the Theorem 2.11 verifier in the tests).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cubes.cube import Cube
+from repro.cubes.cover import Cover
+from repro.hazards.instance import HazardFreeInstance
+from repro.hf.context import HFContext, TaggedRequired
+from repro.hf.essentials import compute_essentials
+from repro.hf.expand import expand_cover
+from repro.hf.irredundant import irredundant_cover
+from repro.hf.lastgasp import last_gasp
+from repro.hf.make_prime import make_cover_dhf_prime
+from repro.hf.reduce_ import reduce_cover
+from repro.hf.result import HFResult
+
+
+class NoSolutionError(RuntimeError):
+    """Raised when the instance admits no hazard-free cover (Theorem 4.1)."""
+
+
+@dataclass
+class EspressoHFOptions:
+    """Tuning knobs for Espresso-HF.
+
+    ``exact_irredundant`` selects MINCOV's branch-and-bound inside
+    IRREDUNDANT (the paper notes either mode works; the tables are small
+    because rows are required cubes, not minterms).  ``make_prime`` controls
+    the final MAKE_DHF_PRIME pass.
+    """
+
+    use_essentials: bool = True
+    use_last_gasp: bool = True
+    make_prime: bool = True
+    exact_irredundant: bool = True
+    irredundant_node_limit: Optional[int] = 200_000
+    max_outer_iterations: int = 20
+
+
+def espresso_hf(
+    instance: HazardFreeInstance, options: Optional[EspressoHFOptions] = None
+) -> HFResult:
+    """Minimize a hazard-free instance heuristically (the paper's algorithm).
+
+    Raises :class:`NoSolutionError` when no hazard-free cover exists.
+    """
+    options = options or EspressoHFOptions()
+    t_start = time.perf_counter()
+    phases = {}
+    ctx = HFContext(instance)
+
+    t0 = time.perf_counter()
+    qf = ctx.canonical_required()
+    phases["canonicalize"] = time.perf_counter() - t0
+    if qf is None:
+        raise NoSolutionError(
+            f"{instance.name}: some required cube has no dhf-supercube "
+            "(Theorem 4.1: no hazard-free cover exists)"
+        )
+    num_required = len(instance.required_cubes())
+
+    if not qf:
+        return HFResult(
+            cover=Cover(ctx.n_inputs, (), ctx.n_outputs),
+            num_required=num_required,
+            num_canonical_required=0,
+            runtime_s=time.perf_counter() - t_start,
+            phase_seconds=phases,
+        )
+
+    t0 = time.perf_counter()
+    essentials: List[Cube] = []
+    remaining: List[TaggedRequired] = list(qf)
+    if options.use_essentials:
+        essentials, remaining = compute_essentials(ctx, qf)
+    phases["essentials"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    iterations = 0
+    f: List[Cube] = [ctx.cube_for(q) for q in remaining]
+    if f:
+        f = expand_cover(f, remaining, ctx)
+        f = irredundant_cover(
+            f,
+            remaining,
+            ctx,
+            exact=options.exact_irredundant,
+            node_limit=options.irredundant_node_limit,
+        )
+        for _ in range(options.max_outer_iterations):
+            size_outer = len(f)
+            while True:
+                size_inner = len(f)
+                f = reduce_cover(f, remaining, ctx)
+                f = expand_cover(f, remaining, ctx)
+                f = irredundant_cover(
+                    f,
+                    remaining,
+                    ctx,
+                    exact=options.exact_irredundant,
+                    node_limit=options.irredundant_node_limit,
+                )
+                iterations += 1
+                if len(f) >= size_inner:
+                    break
+            if options.use_last_gasp:
+                f = last_gasp(
+                    f,
+                    remaining,
+                    ctx,
+                    exact=options.exact_irredundant,
+                    node_limit=options.irredundant_node_limit,
+                )
+            if len(f) >= size_outer:
+                break
+    phases["loop"] = time.perf_counter() - t0
+
+    f = f + essentials
+    t0 = time.perf_counter()
+    if options.make_prime:
+        f = make_cover_dhf_prime(f, ctx)
+        # Expansion to dhf-primes can (rarely) make another cube redundant;
+        # a final required-cube IRREDUNDANT pass over the full canonical set
+        # restores irredundancy and can only shrink the cover.
+        f = irredundant_cover(
+            f,
+            qf,
+            ctx,
+            exact=options.exact_irredundant,
+            node_limit=options.irredundant_node_limit,
+        )
+    phases["make_prime"] = time.perf_counter() - t0
+
+    cover = Cover(ctx.n_inputs, (), ctx.n_outputs)
+    seen = set()
+    for c in f:
+        key = (c.inbits, c.outbits)
+        if key not in seen:
+            seen.add(key)
+            cover.append(c)
+    return HFResult(
+        cover=cover,
+        essentials=essentials,
+        num_required=num_required,
+        num_canonical_required=len(qf),
+        iterations=iterations,
+        runtime_s=time.perf_counter() - t_start,
+        phase_seconds=phases,
+    )
+
+
+def espresso_hf_per_output(
+    instance: HazardFreeInstance, options: Optional[EspressoHFOptions] = None
+) -> HFResult:
+    """Single-output mode: minimize every output independently.
+
+    The paper's algorithm is natively multi-output (one cube may serve
+    several outputs); this mode runs it once per output and merges cubes
+    with identical input parts afterwards.  It is the right choice when
+    outputs are implemented as separate PLAs, and it serves as the baseline
+    for measuring the benefit of multi-output sharing
+    (``benchmarks/test_output_sharing.py``).
+    """
+    t_start = time.perf_counter()
+    merged = {}
+    essentials: List[Cube] = []
+    num_required = 0
+    num_canonical = 0
+    iterations = 0
+    for j in range(instance.n_outputs):
+        sub = instance.restrict_to_output(j)
+        result = espresso_hf(sub, options)
+        num_required += result.num_required
+        num_canonical += result.num_canonical_required
+        iterations += result.iterations
+        essentials.extend(
+            Cube(instance.n_inputs, e.inbits, 1 << j, instance.n_outputs)
+            for e in result.essentials
+        )
+        for c in result.cover:
+            merged[c.inbits] = merged.get(c.inbits, 0) | (1 << j)
+    cover = Cover(instance.n_inputs, (), instance.n_outputs)
+    for inbits, outbits in sorted(merged.items()):
+        cover.append(Cube(instance.n_inputs, inbits, outbits, instance.n_outputs))
+    return HFResult(
+        cover=cover,
+        essentials=essentials,
+        num_required=num_required,
+        num_canonical_required=num_canonical,
+        iterations=iterations,
+        runtime_s=time.perf_counter() - t_start,
+        phase_seconds={},
+    )

@@ -1,0 +1,71 @@
+"""Essential dhf-prime *equivalence classes* (paper §3.4).
+
+A required cube covered by several equal-cost dhf-primes — none of them
+essential individually — still forces one of them into every cover.
+Espresso-HF exploits the required-cube granularity: expand a seed required
+cube greedily; if some required cube it covers can pair with *no* required
+cube outside the class (``supercube_dhf`` of the pair is undefined), that
+cube is *distinguished* and the expanded implicant is an essential
+equivalence class.  Removing its required cubes can expose secondary
+essentials, so the process iterates to a fixpoint.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.cubes.cube import Cube
+from repro.hf.context import HFContext, TaggedRequired
+from repro.hf.expand import expand_toward_required
+
+
+def compute_essentials(
+    ctx: HFContext, reqs: Sequence[TaggedRequired]
+) -> Tuple[List[Cube], List[TaggedRequired]]:
+    """Identify essential equivalence classes.
+
+    Returns ``(essential_cubes, remaining_required)``: the chosen
+    representative cube of each essential class, and the required cubes
+    still to be covered by the main loop.
+    """
+    remaining: List[TaggedRequired] = list(reqs)
+    essentials: List[Cube] = []
+    progress = True
+    while progress:
+        progress = False
+        for seed in list(remaining):
+            if seed not in remaining:
+                continue
+            p = expand_toward_required(ctx.cube_for(seed), remaining, ctx)
+            covered = ctx.covered_set(p, remaining)
+            if _has_distinguished(ctx, covered, remaining):
+                essentials.append(p)
+                covered_keys = {q.key() for q in covered}
+                remaining = [q for q in remaining if q.key() not in covered_keys]
+                progress = True
+    return essentials, remaining
+
+
+def _has_distinguished(
+    ctx: HFContext,
+    covered: Sequence[TaggedRequired],
+    remaining: Sequence[TaggedRequired],
+) -> bool:
+    """True iff some covered required cube can escape to no other class.
+
+    ``q`` is distinguished when for every required cube ``s`` outside the
+    class, ``supercube_dhf({q, s})`` is undefined — no dhf-implicant covers
+    both, so any dhf-prime covering ``q`` is confined to this class.
+    """
+    covered_keys = {q.key() for q in covered}
+    outside = [s for s in remaining if s.key() not in covered_keys]
+    for q in covered:
+        escapes = False
+        for s in outside:
+            outbits = (1 << q.output) | (1 << s.output)
+            if ctx.supercube_dhf([q.canonical, s.canonical], outbits) is not None:
+                escapes = True
+                break
+        if not escapes:
+            return True
+    return False

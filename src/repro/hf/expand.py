@@ -1,0 +1,115 @@
+"""Hazard-free EXPAND (paper §3.3, Figure 7).
+
+Expansion differs from Espresso-II in two ways.  First, raising an entry may
+*force* other entries to be raised: growing a cube across a privileged cube
+obliges it to absorb the start point, so every candidate expansion goes
+through ``supercube_dhf`` (raising is a binate problem).  Second, the
+secondary goal is to contain as many *required cubes* as possible — by the
+Hazard-Free Covering theorem nothing else can ever be gained by growing
+further, so expansion stops there instead of pushing on to a prime
+(dhf-primeness is restored by a final MAKE_DHF_PRIME pass).
+
+A note on the paper's §3.3.1 accelerations (free lists, the overexpanded
+cube, and the local sets ``F_a``/``Q_a``/``P_a``/``R_a``): those exist to
+avoid re-scanning privileged and OFF cubes on every feasibility probe.
+This implementation gets the same effect from
+:meth:`repro.hf.context.HFContext.supercube_dhf_bits` — a bitmask inner
+loop memoized on ``(input bits, output set)``, so repeated probes against
+the same local configuration are O(1) dictionary hits.  Filters (1)-(3) of
+the paper (dropping privileged cubes whose start point is already covered,
+or that can never be legally reached) are exactly the cases the memoized
+chain resolves without growth, so they are not duplicated here.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.cubes.cube import Cube
+from repro.hf.context import HFContext, TaggedRequired
+
+
+def expand_cover(
+    cubes: List[Cube], reqs: Sequence[TaggedRequired], ctx: HFContext
+) -> List[Cube]:
+    """Expand every cube of the cover; absorbed cubes are removed.
+
+    ``reqs`` is the set of (canonical) required cubes the cover must keep
+    covering; it is used for the secondary expansion goal.  The returned
+    list is never larger than the input and always covers at least the same
+    required cubes.
+    """
+    slots: List[Optional[Cube]] = list(cubes)
+    order = sorted(
+        range(len(slots)),
+        key=lambda i: (slots[i].num_dc(), slots[i].inbits, slots[i].outbits),
+    )
+    for idx in order:
+        if slots[idx] is None:
+            continue
+        slots[idx] = expand_one(slots[idx], idx, slots, reqs, ctx)
+    return [c for c in slots if c is not None]
+
+
+def expand_one(
+    cube: Cube,
+    idx: int,
+    slots: List[Optional[Cube]],
+    reqs: Sequence[TaggedRequired],
+    ctx: HFContext,
+) -> Cube:
+    """Expand a single cube: absorb cover cubes first, then required cubes."""
+    # Phase 1: dhf-feasibly covered cubes of F (primary goal).
+    while True:
+        best = None
+        best_gain = 0
+        for j, other in enumerate(slots):
+            if other is None or j == idx or cube.contains(other):
+                continue
+            sup_in = ctx.supercube_dhf([cube, other], cube.outbits | other.outbits)
+            if sup_in is None:
+                continue
+            candidate = Cube(
+                ctx.n_inputs, sup_in.inbits, cube.outbits | other.outbits, ctx.n_outputs
+            )
+            gain = sum(
+                1
+                for k, d in enumerate(slots)
+                if d is not None and k != idx and candidate.contains(d)
+            )
+            if gain > best_gain:
+                best_gain, best = gain, candidate
+        if best is None:
+            break
+        cube = best
+        for k in range(len(slots)):
+            if k != idx and slots[k] is not None and cube.contains(slots[k]):
+                slots[k] = None
+    # Phase 2: dhf-feasibly covered required cubes (secondary goal).
+    cube = expand_toward_required(cube, reqs, ctx)
+    return cube
+
+
+def expand_toward_required(
+    cube: Cube, reqs: Sequence[TaggedRequired], ctx: HFContext
+) -> Cube:
+    """Greedily absorb required cubes while any absorption is dhf-feasible."""
+    while True:
+        uncovered = [q for q in reqs if not ctx.covers(cube, q)]
+        if not uncovered:
+            break
+        best = None
+        best_gain = 0
+        for q in uncovered:
+            outbits = cube.outbits | (1 << q.output)
+            sup_in = ctx.supercube_dhf([cube, q.canonical], outbits)
+            if sup_in is None:
+                continue
+            candidate = Cube(ctx.n_inputs, sup_in.inbits, outbits, ctx.n_outputs)
+            gain = sum(1 for s in uncovered if ctx.covers(candidate, s))
+            if gain > best_gain:
+                best_gain, best = gain, candidate
+        if best is None:
+            break
+        cube = best
+    return cube

@@ -1,0 +1,45 @@
+"""Required-cube based IRREDUNDANT (paper §3.6).
+
+A cover redundant with respect to minterms may be irredundant with respect
+to required cubes, so the unate-recursive IRREDUNDANT does not apply.
+Instead the problem *is* a covering problem — rows are the required cubes,
+columns the cover cubes — solved with MINCOV exactly or heuristically.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.cubes.cube import Cube
+from repro.hf.context import HFContext, TaggedRequired
+from repro.mincov import solve_mincov
+
+
+def irredundant_cover(
+    cubes: List[Cube],
+    reqs: Sequence[TaggedRequired],
+    ctx: HFContext,
+    exact: bool = True,
+    node_limit: Optional[int] = None,
+) -> List[Cube]:
+    """A minimum (or greedily small) subset of ``cubes`` covering ``reqs``.
+
+    ``exact`` selects MINCOV's branch-and-bound; the heuristic mode mirrors
+    Espresso's ``mincov`` heuristic option.  The incoming cover must cover
+    every required cube (an internal invariant of the algorithm).
+    """
+    if not reqs:
+        return []
+    rows = []
+    for q in reqs:
+        cols = [j for j, c in enumerate(cubes) if ctx.covers(c, q)]
+        if not cols:
+            raise AssertionError(
+                f"cover invariant broken: required cube {q} uncovered"
+            )
+        rows.append(cols)
+    chosen = solve_mincov(
+        rows, len(cubes), heuristic=not exact, node_limit=node_limit
+    )
+    assert chosen is not None
+    return [cubes[j] for j in sorted(chosen)]

@@ -1,0 +1,61 @@
+"""Required-cube based LAST_GASP (paper §3.7).
+
+After the inner loop converges, each cube is *independently* reduced to the
+smallest dhf-implicant containing the required cubes no other cube covers;
+if the dhf-supercube of two such reductions is defined it is a candidate
+replacement covering both, and IRREDUNDANT decides whether the enlarged
+cube pool admits a smaller cover.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.cubes.cube import Cube
+from repro.hf.context import HFContext, TaggedRequired
+from repro.hf.irredundant import irredundant_cover
+from repro.hf.reduce_ import _coverage_counts
+
+
+def last_gasp(
+    cubes: List[Cube],
+    reqs: Sequence[TaggedRequired],
+    ctx: HFContext,
+    exact: bool = True,
+    node_limit: Optional[int] = None,
+) -> List[Cube]:
+    """One attempt to escape a local minimum; returns a cover no larger."""
+    counts = _coverage_counts(cubes, reqs, ctx)
+    reduced: List[Cube] = []
+    for cube in cubes:
+        unique = [
+            q for q in reqs if ctx.covers(cube, q) and counts[q.key()] == 1
+        ]
+        if not unique:
+            continue
+        outbits = 0
+        for q in unique:
+            outbits |= 1 << q.output
+        sup_in = ctx.supercube_dhf([q.canonical for q in unique], outbits)
+        assert sup_in is not None
+        reduced.append(Cube(ctx.n_inputs, sup_in.inbits, outbits, ctx.n_outputs))
+    candidates: List[Cube] = []
+    for i in range(len(reduced)):
+        for j in range(i + 1, len(reduced)):
+            outbits = reduced[i].outbits | reduced[j].outbits
+            sup_in = ctx.supercube_dhf([reduced[i], reduced[j]], outbits)
+            if sup_in is not None:
+                candidates.append(
+                    Cube(ctx.n_inputs, sup_in.inbits, outbits, ctx.n_outputs)
+                )
+    if not candidates:
+        return cubes
+    pool = list(cubes)
+    seen = {(c.inbits, c.outbits) for c in pool}
+    for c in candidates:
+        key = (c.inbits, c.outbits)
+        if key not in seen:
+            seen.add(key)
+            pool.append(c)
+    trial = irredundant_cover(pool, reqs, ctx, exact=exact, node_limit=node_limit)
+    return trial if len(trial) < len(cubes) else cubes

@@ -1,0 +1,46 @@
+"""MAKE_DHF_PRIME: final expansion of every cube to a dhf-prime (paper §3.8).
+
+The main loop deliberately stops expanding once no further required cube can
+be absorbed — by the Hazard-Free Covering theorem nothing else is gained.
+For literal count and testability it is still desirable to deliver
+dhf-primes, so this post-processing greedily raises entries: a raise is
+dhf-feasible when the canonicalized (``supercube_dhf``) result exists, and a
+cube none of whose single-entry raises are feasible is a dhf-prime (any
+strictly larger dhf-implicant would have to contain one of those raises).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cubes.cube import Cube, LITERAL_DC
+from repro.hf.context import HFContext
+
+
+def make_dhf_prime(cube: Cube, ctx: HFContext) -> Cube:
+    """Expand one cube into a dhf-prime (input part; outputs unchanged)."""
+    changed = True
+    while changed:
+        changed = False
+        for i in range(ctx.n_inputs):
+            if cube.literal(i) == LITERAL_DC:
+                continue
+            raised = cube.with_literal(i, LITERAL_DC)
+            sup_in = ctx.supercube_dhf([raised], cube.outbits)
+            if sup_in is not None:
+                cube = Cube(ctx.n_inputs, sup_in.inbits, cube.outbits, ctx.n_outputs)
+                changed = True
+    return cube
+
+
+def make_cover_dhf_prime(cubes: List[Cube], ctx: HFContext) -> List[Cube]:
+    """Apply :func:`make_dhf_prime` to a whole cover, deduplicating."""
+    seen = set()
+    out: List[Cube] = []
+    for c in cubes:
+        p = make_dhf_prime(c, ctx)
+        key = (p.inbits, p.outbits)
+        if key not in seen:
+            seen.add(key)
+            out.append(p)
+    return out

@@ -1,0 +1,67 @@
+"""Required-cube based REDUCE (paper §3.5).
+
+Espresso's REDUCE maximally shrinks each cube with the unate recursive
+paradigm; that paradigm does not transfer to hazard-free covers, but the
+required-cube formulation gives an efficient enumerative alternative: a
+cube's reduction is the dhf-supercube of the required cubes it *uniquely*
+covers.  The result is still a valid hazard-free cover after every step
+(required cubes covered elsewhere may be abandoned; uniquely covered ones
+are kept by construction, and the reduction of a dhf-implicant through
+``supercube_dhf`` stays inside it, hence stays OFF-free and legal).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.cubes.cube import Cube
+from repro.hf.context import HFContext, TaggedRequired
+
+
+def _coverage_counts(
+    cubes: Sequence[Cube], reqs: Sequence[TaggedRequired], ctx: HFContext
+) -> Dict[Tuple[int, int], int]:
+    counts: Dict[Tuple[int, int], int] = {q.key(): 0 for q in reqs}
+    for c in cubes:
+        for q in reqs:
+            if ctx.covers(c, q):
+                counts[q.key()] += 1
+    return counts
+
+
+def reduce_cover(
+    cubes: List[Cube], reqs: Sequence[TaggedRequired], ctx: HFContext
+) -> List[Cube]:
+    """Maximally reduce each cube in turn (largest first).
+
+    Cubes that uniquely cover nothing are dropped outright (they are
+    redundant).  Coverage counts are updated after each reduction so later
+    cubes see the already-reduced cover, as in Espresso.
+    """
+    counts = _coverage_counts(cubes, reqs, ctx)
+    order = sorted(
+        range(len(cubes)),
+        key=lambda i: (-cubes[i].num_dc(), cubes[i].inbits, cubes[i].outbits),
+    )
+    slots: List[Cube] = list(cubes)
+    kept: List[bool] = [True] * len(cubes)
+    for idx in order:
+        cube = slots[idx]
+        covered = [q for q in reqs if ctx.covers(cube, q)]
+        unique = [q for q in covered if counts[q.key()] == 1]
+        if not unique:
+            kept[idx] = False
+            for q in covered:
+                counts[q.key()] -= 1
+            continue
+        outbits = 0
+        for q in unique:
+            outbits |= 1 << q.output
+        sup_in = ctx.supercube_dhf([q.canonical for q in unique], outbits)
+        assert sup_in is not None, "reduction inside a dhf-implicant must exist"
+        reduced = Cube(ctx.n_inputs, sup_in.inbits, outbits, ctx.n_outputs)
+        slots[idx] = reduced
+        for q in covered:
+            if not ctx.covers(reduced, q):
+                counts[q.key()] -= 1
+    return [c for i, c in enumerate(slots) if kept[i]]

@@ -1,0 +1,62 @@
+"""Result object returned by :func:`repro.hf.espresso_hf`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.cubes.cube import Cube
+from repro.cubes.cover import Cover
+
+
+@dataclass
+class HFResult:
+    """Outcome of one Espresso-HF run.
+
+    Attributes
+    ----------
+    cover:
+        The hazard-free cover (multi-output; cubes carry output sets).
+    essentials:
+        Representative cubes of the essential equivalence classes found.
+    num_required / num_canonical_required:
+        Sizes of ``Q`` and ``Q_f`` (after SCC minimization) — the paper's
+        problem-size measures.
+    iterations:
+        Number of inner REDUCE/EXPAND/IRREDUNDANT iterations executed.
+    runtime_s:
+        Wall-clock seconds of the whole run.
+    phase_seconds:
+        Wall-clock breakdown per phase (canonicalize / essentials / loop /
+        make_prime).
+    """
+
+    cover: Cover
+    essentials: List[Cube] = field(default_factory=list)
+    num_required: int = 0
+    num_canonical_required: int = 0
+    iterations: int = 0
+    runtime_s: float = 0.0
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def num_cubes(self) -> int:
+        """Cover cardinality (the paper's cost function)."""
+        return len(self.cover)
+
+    @property
+    def num_literals(self) -> int:
+        """Total input literals (secondary cost; MAKE_DHF_PRIME reduces it)."""
+        return self.cover.num_literals()
+
+    @property
+    def num_essential_classes(self) -> int:
+        return len(self.essentials)
+
+    def summary(self) -> str:
+        """One-line human-readable result summary."""
+        return (
+            f"{self.num_cubes} cubes ({self.num_essential_classes} essential "
+            f"classes, {self.num_canonical_required} canonical required cubes, "
+            f"{self.runtime_s:.2f}s)"
+        )

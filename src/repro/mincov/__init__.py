@@ -1,0 +1,10 @@
+"""MINCOV: unate covering solver (exact branch-and-bound and greedy modes).
+
+This is the reproduction of Espresso's MINCOV, used by IRREDUNDANT in both
+minimizers and by the exact flows to solve the prime-implicant table.
+"""
+
+from repro.mincov.matrix import CoveringMatrix
+from repro.mincov.solver import solve_mincov, CoveringExplosionError
+
+__all__ = ["CoveringMatrix", "solve_mincov", "CoveringExplosionError"]

@@ -1,0 +1,237 @@
+"""Bitmask-encoded covering matrix with the classic reduction rules."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class CoveringMatrix:
+    """A unate covering problem: choose columns so every row has a chosen column.
+
+    Rows and columns are referred to by their original indices throughout, so
+    reductions never invalidate caller-side identifiers.  Internally each row
+    is a bitmask over columns and each column a bitmask over rows.
+    """
+
+    def __init__(self, rows: Sequence[Iterable[int]], n_cols: int, weights: Optional[Sequence[int]] = None):
+        self.n_cols = n_cols
+        if weights is None:
+            self.weights = [1] * n_cols
+        else:
+            if len(weights) != n_cols:
+                raise ValueError("weights length must equal n_cols")
+            self.weights = list(weights)
+        self.row_masks: Dict[int, int] = {}
+        self.col_masks: Dict[int, int] = {j: 0 for j in range(n_cols)}
+        for i, cols in enumerate(rows):
+            mask = 0
+            for j in cols:
+                if not 0 <= j < n_cols:
+                    raise ValueError(f"column index {j} out of range")
+                mask |= 1 << j
+                self.col_masks[j] |= 1 << i
+            self.row_masks[i] = mask
+        # Columns covering no row are useless; keep them but they never win.
+
+    # ------------------------------------------------------------------
+
+    def copy(self) -> "CoveringMatrix":
+        clone = CoveringMatrix.__new__(CoveringMatrix)
+        clone.n_cols = self.n_cols
+        clone.weights = self.weights  # shared, never mutated
+        clone.row_masks = dict(self.row_masks)
+        clone.col_masks = dict(self.col_masks)
+        return clone
+
+    @property
+    def n_active_rows(self) -> int:
+        return len(self.row_masks)
+
+    @property
+    def n_active_cols(self) -> int:
+        return len(self.col_masks)
+
+    def is_solved(self) -> bool:
+        return not self.row_masks
+
+    def has_infeasible_row(self) -> bool:
+        active_cols = 0
+        for j in self.col_masks:
+            active_cols |= 1 << j
+        return any((mask & active_cols) == 0 for mask in self.row_masks.values())
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+
+    def select_column(self, j: int) -> None:
+        """Choose column ``j``: delete it and every row it covers."""
+        rows_covered = self.col_masks.pop(j)
+        for i in list(self.row_masks):
+            if (rows_covered >> i) & 1:
+                self._delete_row(i)
+
+    def delete_column(self, j: int) -> None:
+        """Remove column ``j`` without covering anything."""
+        rows_touched = self.col_masks.pop(j)
+        bit = 1 << j
+        for i in list(self.row_masks):
+            if (rows_touched >> i) & 1:
+                self.row_masks[i] &= ~bit
+
+    def _delete_row(self, i: int) -> None:
+        mask = self.row_masks.pop(i)
+        bit = 1 << i
+        while mask:
+            low = mask & -mask
+            j = low.bit_length() - 1
+            mask ^= low
+            if j in self.col_masks:
+                self.col_masks[j] &= ~bit
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+
+    def reduce(self) -> Optional[List[int]]:
+        """Apply essential-column, row-dominance and column-dominance rules
+        to a fixpoint.
+
+        Returns the list of essential columns selected along the way, or
+        ``None`` if an uncoverable row was exposed (infeasible problem).
+        """
+        essentials: List[int] = []
+        changed = True
+        while changed:
+            changed = False
+            if self.has_infeasible_row():
+                return None
+            # Essential columns: a row covered by exactly one active column.
+            for i, mask in list(self.row_masks.items()):
+                if i not in self.row_masks:
+                    continue
+                live = mask & self._active_col_mask()
+                if live and (live & (live - 1)) == 0:
+                    j = live.bit_length() - 1
+                    essentials.append(j)
+                    self.select_column(j)
+                    changed = True
+            if self._row_dominance():
+                changed = True
+            if self._column_dominance():
+                changed = True
+        return essentials
+
+    def _active_col_mask(self) -> int:
+        mask = 0
+        for j in self.col_masks:
+            mask |= 1 << j
+        return mask
+
+    def _row_dominance(self) -> bool:
+        """Delete rows whose column set is a superset of another row's."""
+        changed = False
+        items = sorted(self.row_masks.items(), key=lambda kv: kv[1].bit_count())
+        active = self._active_col_mask()
+        for idx, (i, mask_i) in enumerate(items):
+            if i not in self.row_masks:
+                continue
+            live_i = mask_i & active
+            for k, mask_k in items[idx + 1 :]:
+                if k not in self.row_masks or i not in self.row_masks:
+                    continue
+                live_k = mask_k & active
+                if live_i & live_k == live_i and live_i != live_k:
+                    # Row k's options are a strict superset: k is dominated.
+                    self._delete_row(k)
+                    changed = True
+                elif live_i == live_k and i != k:
+                    self._delete_row(k)
+                    changed = True
+        return changed
+
+    def _column_dominance(self) -> bool:
+        """Delete columns dominated by a cheaper-or-equal column covering more."""
+        changed = False
+        cols = sorted(self.col_masks.items(), key=lambda kv: -kv[1].bit_count())
+        for idx, (j, rows_j) in enumerate(cols):
+            if j not in self.col_masks:
+                continue
+            for k, rows_k in cols:
+                if k == j or k not in self.col_masks or j not in self.col_masks:
+                    continue
+                if rows_k == 0 and rows_j == 0:
+                    continue
+                if (rows_k & rows_j) == rows_k and self.weights[j] <= self.weights[k]:
+                    if rows_k == rows_j and self.weights[j] == self.weights[k] and j > k:
+                        continue  # deterministic tie-break: keep the lower index
+                    self.delete_column(k)
+                    changed = True
+        # Columns covering nothing can always go.
+        for j, rows_j in list(self.col_masks.items()):
+            if rows_j == 0:
+                self.delete_column(j)
+                changed = True
+        return changed
+
+    # ------------------------------------------------------------------
+    # Bounds and branching hints
+    # ------------------------------------------------------------------
+
+    def independent_row_bound(self) -> Tuple[int, List[int]]:
+        """Greedy maximal-independent-set lower bound (Espresso's MIS bound).
+
+        Returns ``(bound, row_ids)`` where the rows are pairwise disjoint in
+        their column sets; any cover needs at least one distinct column per
+        independent row, so the sum of each row's cheapest column is a lower
+        bound on the remaining cost.
+        """
+        chosen: List[int] = []
+        used_cols = 0
+        bound = 0
+        for i, mask in sorted(self.row_masks.items(), key=lambda kv: kv[1].bit_count()):
+            live = mask & self._active_col_mask()
+            if live & used_cols:
+                continue
+            chosen.append(i)
+            used_cols |= live
+            bound += min(
+                (self.weights[j] for j in _bits(live)),
+                default=0,
+            )
+        return bound, chosen
+
+    def branch_row(self) -> Optional[int]:
+        """The row to branch on: fewest live columns (hardest to cover)."""
+        best = None
+        best_count = None
+        active = self._active_col_mask()
+        for i, mask in self.row_masks.items():
+            count = (mask & active).bit_count()
+            if best_count is None or count < best_count:
+                best, best_count = i, count
+        return best
+
+    def row_columns(self, i: int) -> List[int]:
+        """Live columns covering row ``i``."""
+        return list(_bits(self.row_masks[i] & self._active_col_mask()))
+
+    def best_greedy_column(self) -> Optional[int]:
+        """Column maximizing rows-covered per unit weight (greedy heuristic)."""
+        best = None
+        best_key = None
+        for j, rows_j in self.col_masks.items():
+            covered = rows_j.bit_count()
+            if covered == 0:
+                continue
+            key = (covered / self.weights[j], covered, -j)
+            if best_key is None or key > best_key:
+                best, best_key = j, key
+        return best
+
+
+def _bits(mask: int):
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low

@@ -1,0 +1,113 @@
+"""Branch-and-bound and greedy solvers over :class:`CoveringMatrix`."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Set
+
+from repro.mincov.matrix import CoveringMatrix
+
+
+class CoveringExplosionError(RuntimeError):
+    """Raised when the exact solver exceeds its node budget.
+
+    Mirrors the paper's observation that the exact flow's covering step "was
+    too large" for pscsi-pscsi: the harness treats this as a failed exact run.
+    """
+
+
+def solve_mincov(
+    rows: Sequence[Iterable[int]],
+    n_cols: int,
+    weights: Optional[Sequence[int]] = None,
+    heuristic: bool = False,
+    node_limit: Optional[int] = None,
+) -> Optional[Set[int]]:
+    """Solve the unate covering problem.
+
+    ``rows[i]`` lists the columns that cover row ``i``.  Returns a set of
+    selected column indices of minimum total weight (exact mode) or a good
+    small cover (heuristic mode), or ``None`` when some row is uncoverable.
+    ``node_limit`` bounds branch-and-bound nodes; exceeding it raises
+    :class:`CoveringExplosionError`.
+    """
+    matrix = CoveringMatrix(rows, n_cols, weights)
+    if heuristic:
+        return _solve_greedy(matrix)
+    solver = _BranchAndBound(matrix, node_limit)
+    return solver.solve()
+
+
+def _solve_greedy(matrix: CoveringMatrix) -> Optional[Set[int]]:
+    chosen: Set[int] = set()
+    essentials = matrix.reduce()
+    if essentials is None:
+        return None
+    chosen.update(essentials)
+    while not matrix.is_solved():
+        j = matrix.best_greedy_column()
+        if j is None:
+            return None
+        chosen.add(j)
+        matrix.select_column(j)
+        essentials = matrix.reduce()
+        if essentials is None:
+            return None
+        chosen.update(essentials)
+    return chosen
+
+
+class _BranchAndBound:
+    def __init__(self, matrix: CoveringMatrix, node_limit: Optional[int]):
+        self.root = matrix
+        self.node_limit = node_limit
+        self.nodes = 0
+        self.best: Optional[Set[int]] = None
+        self.best_cost = float("inf")
+        self.weights = matrix.weights
+
+    def solve(self) -> Optional[Set[int]]:
+        # Seed the incumbent with the greedy solution for tighter pruning.
+        greedy = _solve_greedy(self.root.copy())
+        if greedy is not None:
+            self.best = set(greedy)
+            self.best_cost = sum(self.weights[j] for j in greedy)
+        self._recurse(self.root.copy(), set(), 0)
+        return set(self.best) if self.best is not None else None
+
+    def _cost(self, cols: Iterable[int]) -> int:
+        return sum(self.weights[j] for j in cols)
+
+    def _recurse(self, matrix: CoveringMatrix, chosen: Set[int], cost: int) -> None:
+        self.nodes += 1
+        if self.node_limit is not None and self.nodes > self.node_limit:
+            raise CoveringExplosionError(
+                f"covering search exceeded {self.node_limit} nodes"
+            )
+        essentials = matrix.reduce()
+        if essentials is None:
+            return
+        chosen = chosen | set(essentials)
+        cost += self._cost(essentials)
+        if cost >= self.best_cost:
+            return
+        if matrix.is_solved():
+            self.best = set(chosen)
+            self.best_cost = cost
+            return
+        bound, _ = matrix.independent_row_bound()
+        if cost + bound >= self.best_cost:
+            return
+        row = matrix.branch_row()
+        if row is None:  # pragma: no cover - solved case handled above
+            return
+        columns = sorted(
+            matrix.row_columns(row),
+            key=lambda j: (-matrix.col_masks[j].bit_count(), self.weights[j], j),
+        )
+        if not columns:
+            return
+        for j in columns:
+            child = matrix.copy()
+            child.select_column(j)
+            self._recurse(child, chosen | {j}, cost + self.weights[j])
+        # Not selecting any column of `row` can never satisfy it: no third branch.

@@ -1,0 +1,20 @@
+"""PLA file I/O (Berkeley Espresso format) with a transitions extension.
+
+The classic format is extended with ``.trans START END`` lines giving the
+specified multiple-input changes of a hazard-free minimization instance, so
+a whole :class:`~repro.hazards.instance.HazardFreeInstance` round-trips
+through one file.
+"""
+
+from repro.pla.reader import read_pla, parse_pla, PlaFile, PlaError
+from repro.pla.writer import write_pla, format_pla, format_cover
+
+__all__ = [
+    "read_pla",
+    "parse_pla",
+    "PlaFile",
+    "PlaError",
+    "write_pla",
+    "format_pla",
+    "format_cover",
+]

@@ -1,0 +1,164 @@
+"""Parser for Espresso-style PLA files with the ``.trans`` extension.
+
+Supported directives: ``.i``, ``.o``, ``.p`` (ignored count), ``.ilb``,
+``.ob``, ``.type`` (``f``, ``fr``, ``fd``, ``fdr``), ``.trans``, ``.e``.
+Output-plane characters: ``1`` (ON), ``0`` (OFF under an ``r`` type, else
+don't-care), ``-``/``~``/``2`` (don't-care), ``4`` (ON, Espresso legacy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.cubes.cube import Cube
+from repro.cubes.cover import Cover
+from repro.hazards.instance import HazardFreeInstance
+from repro.hazards.transitions import Transition
+
+
+class PlaError(ValueError):
+    """Raised on malformed PLA input."""
+
+
+@dataclass
+class PlaFile:
+    """Parsed contents of a PLA file."""
+
+    n_inputs: int
+    n_outputs: int
+    on: Cover
+    off: Cover
+    dc: Cover
+    transitions: List[Transition] = field(default_factory=list)
+    input_labels: Optional[List[str]] = None
+    output_labels: Optional[List[str]] = None
+    pla_type: str = "fr"
+    name: str = "pla"
+
+    def to_instance(self, validate: bool = True) -> HazardFreeInstance:
+        """Build a hazard-free instance (requires an ``r`` type: OFF given)."""
+        if "r" not in self.pla_type:
+            raise PlaError(
+                f"type '{self.pla_type}' has no OFF-set; a hazard-free "
+                "instance needs .type fr (or fdr)"
+            )
+        return HazardFreeInstance(
+            self.on, self.off, self.transitions, name=self.name, validate=validate
+        )
+
+
+def read_pla(path: Union[str, Path]) -> PlaFile:
+    """Read and parse a PLA file from disk."""
+    text = Path(path).read_text()
+    return parse_pla(text, name=Path(path).stem)
+
+
+def parse_pla(text: str, name: str = "pla") -> PlaFile:
+    """Parse PLA text into a :class:`PlaFile`."""
+    n_inputs: Optional[int] = None
+    n_outputs: Optional[int] = None
+    pla_type = "fr"
+    input_labels = None
+    output_labels = None
+    rows: List[Tuple[str, str]] = []
+    transitions: List[Transition] = []
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            parts = line.split()
+            key = parts[0]
+            if key == ".i":
+                n_inputs = int(parts[1])
+            elif key == ".o":
+                n_outputs = int(parts[1])
+            elif key == ".p":
+                pass  # informational product count
+            elif key == ".ilb":
+                input_labels = parts[1:]
+            elif key == ".ob":
+                output_labels = parts[1:]
+            elif key == ".type":
+                pla_type = parts[1]
+                if pla_type not in ("f", "fd", "fr", "fdr"):
+                    raise PlaError(f"line {lineno}: unsupported .type {pla_type}")
+            elif key == ".trans":
+                if len(parts) != 3:
+                    raise PlaError(f"line {lineno}: .trans needs START END")
+                transitions.append(_parse_transition(parts[1], parts[2], lineno))
+            elif key == ".e" or key == ".end":
+                break
+            else:
+                raise PlaError(f"line {lineno}: unknown directive {key}")
+        else:
+            parts = line.split()
+            if len(parts) == 1 and n_outputs == 1:
+                # single-output shorthand: implicit output '1'
+                parts = [parts[0], "1"]
+            if len(parts) != 2:
+                raise PlaError(f"line {lineno}: expected 'inputs outputs'")
+            rows.append((parts[0], parts[1]))
+
+    if n_inputs is None or n_outputs is None:
+        raise PlaError("missing .i or .o directive")
+    for t in transitions:
+        if t.n_inputs != n_inputs:
+            raise PlaError(f"transition {t} width does not match .i {n_inputs}")
+
+    on = Cover(n_inputs, (), n_outputs)
+    off = Cover(n_inputs, (), n_outputs)
+    dc = Cover(n_inputs, (), n_outputs)
+    off_specified = "r" in pla_type
+    dc_specified = "d" in pla_type
+    for in_part, out_part in rows:
+        if len(in_part) != n_inputs:
+            raise PlaError(f"cube {in_part!r} width != .i {n_inputs}")
+        if len(out_part) != n_outputs:
+            raise PlaError(f"output part {out_part!r} width != .o {n_outputs}")
+        base = Cube.from_string(in_part, "0" * n_outputs)
+        on_bits = 0
+        off_bits = 0
+        dc_bits = 0
+        for j, ch in enumerate(out_part):
+            if ch in "14":
+                on_bits |= 1 << j
+            elif ch == "0":
+                if off_specified:
+                    off_bits |= 1 << j
+                # otherwise: "not in the ON set", carries no information
+            elif ch in "-~2":
+                if dc_specified:
+                    dc_bits |= 1 << j
+            else:
+                raise PlaError(f"bad output character {ch!r}")
+        if on_bits:
+            on.append(base.with_outputs(on_bits))
+        if off_bits:
+            off.append(base.with_outputs(off_bits))
+        if dc_bits:
+            dc.append(base.with_outputs(dc_bits))
+    return PlaFile(
+        n_inputs=n_inputs,
+        n_outputs=n_outputs,
+        on=on,
+        off=off,
+        dc=dc,
+        transitions=transitions,
+        input_labels=input_labels,
+        output_labels=output_labels,
+        pla_type=pla_type,
+        name=name,
+    )
+
+
+def _parse_transition(start: str, end: str, lineno: int) -> Transition:
+    try:
+        a = tuple(int(c) for c in start)
+        b = tuple(int(c) for c in end)
+        return Transition(a, b)
+    except ValueError as exc:
+        raise PlaError(f"line {lineno}: bad transition endpoints") from exc

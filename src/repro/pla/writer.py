@@ -1,0 +1,66 @@
+"""Writer for Espresso-style PLA files with the ``.trans`` extension."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Union
+
+from repro.cubes.cover import Cover
+from repro.hazards.instance import HazardFreeInstance
+
+
+def format_cover(cover: Cover, pla_type: str = "f", name: str = "pla") -> str:
+    """Format a plain (result) cover as PLA text."""
+    lines = [f"# {name}", f".i {cover.n_inputs}", f".o {cover.n_outputs}",
+             f".type {pla_type}", f".p {len(cover)}"]
+    for c in cover:
+        lines.append(f"{c.input_string()} {c.output_string()}")
+    lines.append(".e")
+    return "\n".join(lines) + "\n"
+
+
+def format_pla(instance: HazardFreeInstance) -> str:
+    """Format a hazard-free instance as a ``.type fr`` PLA with transitions.
+
+    ON rows use output character ``1``, OFF rows ``0``; unlisted points are
+    don't-care.  Rows are merged so a cube appearing in both sets (for
+    different outputs) emits one line per set, which keeps the writer simple
+    and round-trippable.
+    """
+    lines = [
+        f"# {instance.name}",
+        f".i {instance.n_inputs}",
+        f".o {instance.n_outputs}",
+        ".type fr",
+    ]
+    rows: List[str] = []
+    for c in instance.on:
+        out = "".join("1" if c.has_output(j) else "-" for j in range(instance.n_outputs))
+        rows.append(f"{c.input_string()} {out}")
+    for c in instance.off:
+        out = "".join("0" if c.has_output(j) else "-" for j in range(instance.n_outputs))
+        rows.append(f"{c.input_string()} {out}")
+    lines.append(f".p {len(rows)}")
+    lines.extend(rows)
+    for t in instance.transitions:
+        lines.append(
+            ".trans "
+            + "".join(map(str, t.start))
+            + " "
+            + "".join(map(str, t.end))
+        )
+    lines.append(".e")
+    return "\n".join(lines) + "\n"
+
+
+def write_pla(
+    target: Union[HazardFreeInstance, Cover],
+    path: Union[str, Path],
+    **kwargs,
+) -> None:
+    """Write an instance (``.type fr`` + transitions) or a cover to disk."""
+    if isinstance(target, HazardFreeInstance):
+        text = format_pla(target)
+    else:
+        text = format_cover(target, **kwargs)
+    Path(path).write_text(text)

@@ -1,0 +1,116 @@
+"""Instance and cover statistics: problem metrics, PLA area, text reports.
+
+The classic PLA area model charges every product row ``2·inputs + outputs``
+crosspoints (true and complemented input columns plus output columns), so
+``area = p · (2i + o)``.  Cover cardinality is the paper's cost function;
+literal count and area are the secondary metrics MAKE_DHF_PRIME improves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cubes.cover import Cover
+from repro.hazards.instance import HazardFreeInstance
+
+
+@dataclass
+class InstanceStats:
+    """Size metrics of a hazard-free minimization instance."""
+
+    name: str
+    n_inputs: int
+    n_outputs: int
+    n_transitions: int
+    n_required_cubes: int
+    n_privileged_cubes: int
+    transitions_by_kind: Dict[str, int]
+
+    def lines(self) -> List[str]:
+        out = [
+            f"instance {self.name}: {self.n_inputs} inputs, "
+            f"{self.n_outputs} outputs, {self.n_transitions} transitions",
+            f"  required cubes  : {self.n_required_cubes}",
+            f"  privileged cubes: {self.n_privileged_cubes}",
+        ]
+        kinds = ", ".join(f"{k}: {v}" for k, v in sorted(self.transitions_by_kind.items()))
+        out.append(f"  transition kinds (summed over outputs): {kinds}")
+        return out
+
+
+@dataclass
+class CoverStats:
+    """Cost metrics of a two-level cover."""
+
+    n_cubes: int
+    n_literals: int
+    n_inputs: int
+    n_outputs: int
+    output_connections: int
+
+    @property
+    def pla_area(self) -> int:
+        """Crosspoint count: products × (2·inputs + outputs)."""
+        return self.n_cubes * (2 * self.n_inputs + self.n_outputs)
+
+    @property
+    def avg_fanin(self) -> float:
+        """Average AND-gate fan-in (literals per product)."""
+        return self.n_literals / self.n_cubes if self.n_cubes else 0.0
+
+    def lines(self) -> List[str]:
+        return [
+            f"cover: {self.n_cubes} products, {self.n_literals} literals "
+            f"(avg AND fan-in {self.avg_fanin:.1f})",
+            f"  output connections: {self.output_connections}",
+            f"  PLA area (crosspoints): {self.pla_area}",
+        ]
+
+
+def instance_stats(instance: HazardFreeInstance) -> InstanceStats:
+    """Collect size metrics for an instance."""
+    kinds: Dict[str, int] = {}
+    for t in instance.transitions:
+        for j in range(instance.n_outputs):
+            kind = instance.kind(t, j)
+            kinds[kind.value] = kinds.get(kind.value, 0) + 1
+    return InstanceStats(
+        name=instance.name,
+        n_inputs=instance.n_inputs,
+        n_outputs=instance.n_outputs,
+        n_transitions=len(instance.transitions),
+        n_required_cubes=len(instance.required_cubes()),
+        n_privileged_cubes=len(instance.privileged_cubes()),
+        transitions_by_kind=kinds,
+    )
+
+
+def cover_stats(cover: Cover) -> CoverStats:
+    """Collect cost metrics for a cover."""
+    return CoverStats(
+        n_cubes=len(cover),
+        n_literals=cover.num_literals(),
+        n_inputs=cover.n_inputs,
+        n_outputs=cover.n_outputs,
+        output_connections=sum(c.outbits.bit_count() for c in cover),
+    )
+
+
+def minimization_report(
+    instance: HazardFreeInstance,
+    cover: Cover,
+    baseline: Optional[Cover] = None,
+) -> str:
+    """Human-readable before/after report for one minimization run."""
+    lines: List[str] = []
+    lines.extend(instance_stats(instance).lines())
+    lines.extend(cover_stats(cover).lines())
+    if baseline is not None:
+        base = cover_stats(baseline)
+        ours = cover_stats(cover)
+        lines.append(
+            f"  vs baseline: {base.n_cubes} -> {ours.n_cubes} products, "
+            f"area {base.pla_area} -> {ours.pla_area}"
+        )
+    return "\n".join(lines)

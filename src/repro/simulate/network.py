@@ -1,0 +1,82 @@
+"""AND-OR network model of a sum-of-products cover.
+
+The circuit model matches the paper's §2.1: arbitrary finite gate and wire
+delays (every fanout branch of every signal has its own delay) and pure
+delays (every input change propagates; nothing is filtered).  Complemented
+input literals are assumed available hazard-free, as is standard for
+two-level hazard analysis — an input and its complement both change
+monotonically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cubes.cube import LITERAL_ONE, LITERAL_ZERO
+from repro.cubes.cover import Cover
+
+
+@dataclass(frozen=True)
+class AndGate:
+    """One product term: ``(variable, phase)`` pairs (phase 1 = positive)."""
+
+    literals: Tuple[Tuple[int, int], ...]
+
+    def evaluate(self, inputs: Sequence[int]) -> int:
+        for var, phase in self.literals:
+            if inputs[var] != phase:
+                return 0
+        return 1
+
+
+class SopNetwork:
+    """A two-level AND-OR network implementing one output of a cover."""
+
+    def __init__(self, cover: Cover, output: int = 0):
+        self.n_inputs = cover.n_inputs
+        self.and_gates: List[AndGate] = []
+        for cube in cover:
+            if cover.n_outputs > 1 and not cube.has_output(output):
+                continue
+            if cube.is_empty:
+                continue
+            lits = []
+            for i in range(cover.n_inputs):
+                code = cube.literal(i)
+                if code == LITERAL_ONE:
+                    lits.append((i, 1))
+                elif code == LITERAL_ZERO:
+                    lits.append((i, 0))
+            self.and_gates.append(AndGate(tuple(lits)))
+
+    @property
+    def n_gates(self) -> int:
+        return len(self.and_gates) + 1  # AND gates plus the OR gate
+
+    def evaluate(self, inputs: Sequence[int]) -> int:
+        """Steady-state Boolean evaluation."""
+        return 1 if any(g.evaluate(inputs) for g in self.and_gates) else 0
+
+    def evaluate_ternary(self, inputs: Sequence[Optional[int]]) -> Optional[int]:
+        """Ternary (0/None=X/1) evaluation with the standard X-propagation.
+
+        An AND gate with any controlling 0 input is 0 regardless of X's; an
+        OR gate with any 1 input is 1 regardless of X's.
+        """
+        or_val: Optional[int] = 0
+        for g in self.and_gates:
+            val: Optional[int] = 1
+            for var, phase in g.literals:
+                v = inputs[var]
+                if v is None:
+                    if val == 1:
+                        val = None
+                elif v != phase:
+                    val = 0
+                    break
+            if val == 1:
+                return 1
+            if val is None:
+                or_val = None
+        return or_val

@@ -1,0 +1,55 @@
+"""Ternary (Eichelberger-style) hazard analysis for static transitions.
+
+For a static transition ``[A, B]`` of a combinational network, drive the
+changing inputs to X and the stable inputs to their common values.  If the
+output resolves to the (equal) endpoint value, every delay assignment keeps
+the output stable — no static logic hazard; if it resolves to X, some delay
+assignment glitches it.  For two-level AND-OR logic this test is exact for
+static hazards and agrees with Lemma 2.6 (a 1→1 transition is hazard-free
+iff some product holds 1 across the whole transition cube).
+
+Dynamic (1→0 / 0→1) logic hazards are outside plain ternary simulation's
+reach; the Monte-Carlo simulator (:mod:`repro.simulate.montecarlo`) covers
+those.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.hazards.transitions import Transition
+from repro.simulate.network import SopNetwork
+
+
+def ternary_value(
+    network: SopNetwork, start: Sequence[int], end: Sequence[int]
+) -> Optional[int]:
+    """The network's ternary output with changing inputs driven to X."""
+    inputs: List[Optional[int]] = [
+        a if a == b else None for a, b in zip(start, end)
+    ]
+    return network.evaluate_ternary(inputs)
+
+
+def ternary_simulate(
+    network: SopNetwork, transition: Transition
+) -> Optional[int]:
+    """Ternary output over a transition (None = X = potential hazard)."""
+    return ternary_value(network, transition.start, transition.end)
+
+
+def has_static_hazard_ternary(
+    network: SopNetwork, transition: Transition
+) -> bool:
+    """True iff a static transition shows a potential static logic hazard.
+
+    Raises :class:`ValueError` when the endpoint outputs differ (the
+    transition is dynamic and ternary analysis does not apply).
+    """
+    v_start = network.evaluate(transition.start)
+    v_end = network.evaluate(transition.end)
+    if v_start != v_end:
+        raise ValueError(
+            "ternary static-hazard analysis applies to static transitions only"
+        )
+    return ternary_simulate(network, transition) is None

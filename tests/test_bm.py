@@ -1,0 +1,193 @@
+"""Tests for the burst-mode substrate: specs, synthesis, generators, suite."""
+
+import pytest
+
+from repro.bm import (
+    BurstModeSpec,
+    SpecError,
+    synthesize,
+    random_instance,
+    random_burst_mode_spec,
+    build_benchmark,
+    BENCHMARKS,
+)
+from repro.bm.benchmarks import _BY_NAME
+from repro.hazards import hazard_free_solution_exists
+from repro.hazards.instance import HazardFreeInstance
+from repro.hf import espresso_hf
+from repro.hazards.verify import is_hazard_free_cover
+
+
+def simple_spec():
+    """A two-state handshake controller: req+ / ack+ ; req- / ack-."""
+    spec = BurstModeSpec(n_inputs=1, n_outputs=1, name="handshake")
+    spec.add_state("idle")
+    spec.add_state("busy")
+    spec.add_transition("idle", "busy", input_burst={0}, output_burst={0})
+    spec.add_transition("busy", "idle", input_burst={0}, output_burst={0})
+    return spec
+
+
+class TestSpec:
+    def test_construction(self):
+        spec = simple_spec()
+        assert spec.n_states == 2
+        assert spec.n_transitions == 2
+        assert spec.initial_state == "idle"
+
+    def test_duplicate_state_rejected(self):
+        spec = BurstModeSpec(2, 1)
+        spec.add_state("s")
+        with pytest.raises(SpecError):
+            spec.add_state("s")
+
+    def test_unknown_states_rejected(self):
+        spec = BurstModeSpec(2, 1)
+        spec.add_state("s")
+        with pytest.raises(SpecError):
+            spec.add_transition("s", "t", input_burst={0})
+        with pytest.raises(SpecError):
+            spec.add_transition("t", "s", input_burst={0})
+
+    def test_empty_burst_rejected(self):
+        spec = BurstModeSpec(2, 1)
+        spec.add_state("s")
+        spec.add_state("t")
+        with pytest.raises(SpecError):
+            spec.add_transition("s", "t", input_burst=set())
+
+    def test_maximal_set_property_enforced(self):
+        spec = BurstModeSpec(3, 1)
+        spec.add_state("s")
+        spec.add_state("t")
+        spec.add_transition("s", "t", input_burst={0, 1})
+        with pytest.raises(SpecError):
+            spec.add_transition("s", "t", input_burst={0})  # subset
+        with pytest.raises(SpecError):
+            spec.add_transition("s", "t", input_burst={0, 1, 2})  # superset
+        spec.add_transition("s", "t", input_burst={0, 2})  # incomparable: ok
+
+    def test_out_of_range_indices(self):
+        spec = BurstModeSpec(2, 1)
+        spec.add_state("s")
+        spec.add_state("t")
+        with pytest.raises(SpecError):
+            spec.add_transition("s", "t", input_burst={5})
+        with pytest.raises(SpecError):
+            spec.add_transition("s", "t", input_burst={0}, output_burst={3})
+
+
+class TestSynthesis:
+    def test_handshake_dimensions(self):
+        result = synthesize(simple_spec())
+        inst = result.instance
+        # 2 synth states (idle@0, busy@1): inputs = 1 + 2, outputs = 2 + 1
+        assert result.n_synth_states == 2
+        assert inst.n_inputs == 3
+        assert inst.n_outputs == 3
+        assert len(inst.transitions) == 2
+
+    def test_handshake_is_valid_and_solvable(self):
+        inst = synthesize(simple_spec()).instance
+        assert hazard_free_solution_exists(inst)
+        res = espresso_hf(inst)
+        assert is_hazard_free_cover(inst, res.cover)
+
+    def test_state_splitting_on_reentry(self):
+        """Entering a state with different polarities splits it."""
+        spec = BurstModeSpec(2, 1, name="split")
+        spec.add_state("a")
+        spec.add_state("b")
+        spec.add_transition("a", "b", input_burst={0})
+        spec.add_transition("b", "a", input_burst={1})  # a re-entered at 11
+        spec.add_transition("a", "b", input_burst={1})  # from 11: b at 10...
+        result = synthesize(spec)
+        assert result.n_synth_states >= 3
+
+    def test_cap_enforced(self):
+        spec = BurstModeSpec(3, 1, name="cap")
+        spec.add_state("a")
+        spec.add_state("b")
+        spec.add_transition("a", "b", input_burst={0})
+        spec.add_transition("b", "a", input_burst={1})
+        spec.add_transition("a", "b", input_burst={1, 2})
+        spec.add_transition("b", "a", input_burst={0, 2})
+        with pytest.raises(SpecError):
+            synthesize(spec, max_synth_states=2)
+
+    def test_failsafe_adds_off_cubes(self):
+        plain = synthesize(simple_spec(), failsafe=False).instance
+        safe = synthesize(simple_spec(), failsafe=True).instance
+        assert len(safe.off) > len(plain.off)
+        # the hazard structure is identical either way
+        assert {(q.cube.inbits, q.output) for q in safe.required_cubes()} == {
+            (q.cube.inbits, q.output) for q in plain.required_cubes()
+        }
+        assert hazard_free_solution_exists(plain) == hazard_free_solution_exists(safe)
+
+    def test_synthesized_instance_validates(self):
+        """HazardFreeInstance's own validation accepts synthesized output
+        (fully defined on transition cubes, function-hazard-free)."""
+        spec = random_burst_mode_spec(3, 2, 3, seed=5)
+        inst = synthesize(spec).instance  # validate=True inside
+        assert isinstance(inst, HazardFreeInstance)
+
+
+class TestRandomGenerators:
+    def test_random_instance_deterministic(self):
+        a = random_instance(4, 2, n_transitions=4, seed=9)
+        b = random_instance(4, 2, n_transitions=4, seed=9)
+        assert a.on == b.on and a.off == b.off
+        assert a.transitions == b.transitions
+
+    def test_random_instance_rejects_large_n(self):
+        with pytest.raises(ValueError):
+            random_instance(20)
+
+    def test_random_spec_deterministic(self):
+        a = random_burst_mode_spec(4, 3, 4, seed=1)
+        b = random_burst_mode_spec(4, 3, 4, seed=1)
+        assert [str(t) for s in a.states.values() for t in s.transitions] == [
+            str(t) for s in b.states.values() for t in s.transitions
+        ]
+
+    def test_random_spec_satisfies_msp(self):
+        spec = random_burst_mode_spec(5, 3, 6, seed=3)
+        for state in spec.states.values():
+            bursts = [t.input_burst for t in state.transitions]
+            for i, b1 in enumerate(bursts):
+                for b2 in bursts[i + 1 :]:
+                    assert not (b1 <= b2 or b2 <= b1)
+
+
+class TestBenchmarkSuite:
+    def test_table_has_fifteen_circuits(self):
+        assert len(BENCHMARKS) == 15
+        assert len({b.name for b in BENCHMARKS}) == 15
+
+    def test_paper_headline_dimensions(self):
+        assert (_BY_NAME["cache-ctrl"].n_inputs, _BY_NAME["cache-ctrl"].n_outputs) == (20, 23)
+        assert (_BY_NAME["stetson-p1"].n_inputs, _BY_NAME["stetson-p1"].n_outputs) == (32, 33)
+
+    def test_exactly_three_marked_unsolvable(self):
+        failed = {b.name for b in BENCHMARKS if b.exact_failed_in_paper}
+        assert failed == {"cache-ctrl", "pscsi-pscsi", "stetson-p1"}
+
+    @pytest.mark.parametrize(
+        "name", ["dram-ctrl", "pscsi-ircv", "sscsi-trcv-bm", "stetson-p3"]
+    )
+    def test_small_benchmarks_build_with_paper_dims(self, name):
+        bench = _BY_NAME[name]
+        inst = build_benchmark(name)
+        assert inst.n_inputs == bench.n_inputs
+        assert inst.n_outputs == bench.n_outputs
+        assert hazard_free_solution_exists(inst)
+
+    def test_builds_are_deterministic(self):
+        a = build_benchmark("stetson-p3")
+        b = build_benchmark("stetson-p3")
+        assert a.on == b.on and a.off == b.off and a.transitions == b.transitions
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            build_benchmark("nope")

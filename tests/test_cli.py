@@ -1,0 +1,66 @@
+"""Tests for the espresso-hf command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.pla import parse_pla, write_pla
+from repro.bench.figure1 import figure1_instance
+
+from tests.test_hazards import figure3_instance, unsolvable_instance
+
+
+@pytest.fixture
+def fig3_pla(tmp_path):
+    path = tmp_path / "fig3.pla"
+    write_pla(figure3_instance(), path)
+    return str(path)
+
+
+@pytest.fixture
+def unsolvable_pla(tmp_path):
+    path = tmp_path / "bad.pla"
+    write_pla(unsolvable_instance(), path)
+    return str(path)
+
+
+class TestCli:
+    def test_minimize_to_stdout(self, fig3_pla, capsys):
+        assert main([fig3_pla]) == 0
+        out = capsys.readouterr().out
+        assert ".p 3" in out
+
+    def test_minimize_to_file(self, fig3_pla, tmp_path, capsys):
+        out_path = tmp_path / "result.pla"
+        assert main([fig3_pla, "-o", str(out_path), "--verify"]) == 0
+        pla = parse_pla(out_path.read_text())
+        assert len(pla.on) == 3
+
+    def test_exact_mode(self, fig3_pla, capsys):
+        assert main([fig3_pla, "--exact"]) == 0
+        out = capsys.readouterr().out
+        assert ".p 3" in out
+
+    def test_existence_only(self, fig3_pla, unsolvable_pla, capsys):
+        assert main([fig3_pla, "--check-existence"]) == 0
+        assert main([unsolvable_pla, "--check-existence"]) == 1
+        out = capsys.readouterr().out
+        assert "NO hazard-free cover" in out
+
+    def test_unsolvable_exit_code(self, unsolvable_pla):
+        assert main([unsolvable_pla]) == 1
+
+    def test_bad_input_exit_code(self, tmp_path):
+        bad = tmp_path / "bad.pla"
+        bad.write_text("garbage\n")
+        assert main([str(bad)]) == 2
+
+    def test_option_flags(self, fig3_pla):
+        assert main([fig3_pla, "--no-essentials", "--no-last-gasp",
+                     "--no-make-prime", "--stats", "--verify"]) == 0
+
+    def test_figure1_via_cli(self, tmp_path, capsys):
+        path = tmp_path / "fig1.pla"
+        write_pla(figure1_instance(), path)
+        assert main([str(path), "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert ".p 5" in out

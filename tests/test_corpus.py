@@ -1,0 +1,56 @@
+"""The frozen PLA corpus matches the seeded generator exactly."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bm.benchmarks import BENCHMARKS, build_benchmark
+from repro.hazards import hazard_free_solution_exists
+from repro.pla import read_pla
+
+CORPUS = Path(__file__).resolve().parent.parent / "data" / "benchmarks"
+
+SMALL = ["dram-ctrl", "pscsi-ircv", "sscsi-isend-bm", "stetson-p3", "pscsi-tsend"]
+
+
+class TestCorpusFiles:
+    def test_all_fifteen_present(self):
+        names = {p.stem for p in CORPUS.glob("*.pla")}
+        assert names == {b.name for b in BENCHMARKS}
+
+    @pytest.mark.parametrize("name", SMALL)
+    def test_file_matches_generator(self, name):
+        from_file = read_pla(CORPUS / f"{name}.pla").to_instance()
+        generated = build_benchmark(name)
+        assert from_file.n_inputs == generated.n_inputs
+        assert from_file.n_outputs == generated.n_outputs
+        assert from_file.transitions == generated.transitions
+        assert {(q.cube.inbits, q.output) for q in from_file.required_cubes()} == {
+            (q.cube.inbits, q.output) for q in generated.required_cubes()
+        }
+        assert {
+            (p.cube.inbits, p.start.inbits, p.output)
+            for p in from_file.privileged_cubes()
+        } == {
+            (p.cube.inbits, p.start.inbits, p.output)
+            for p in generated.privileged_cubes()
+        }
+
+    @pytest.mark.parametrize("name", SMALL)
+    def test_corpus_instances_solvable(self, name):
+        instance = read_pla(CORPUS / f"{name}.pla").to_instance()
+        assert hazard_free_solution_exists(instance)
+
+    def test_largest_file_parses(self):
+        instance = read_pla(CORPUS / "stetson-p1.pla").to_instance(validate=False)
+        assert instance.n_inputs == 32
+        assert instance.n_outputs == 33
+
+    def test_minimization_from_file(self):
+        from repro.hf import espresso_hf
+        from repro.hazards.verify import is_hazard_free_cover
+
+        instance = read_pla(CORPUS / "dram-ctrl.pla").to_instance()
+        result = espresso_hf(instance)
+        assert result.num_cubes == 9
+        assert is_hazard_free_cover(instance, result.cover)

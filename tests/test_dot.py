@@ -1,0 +1,43 @@
+"""Tests for DOT export of burst-mode graphs."""
+
+from repro.bm import build_controller, synthesize
+from repro.bm.dot import spec_to_dot, total_state_graph_to_dot
+
+
+class TestSpecDot:
+    def test_contains_states_and_edges(self):
+        spec = build_controller("dma-controller")
+        dot = spec_to_dot(spec)
+        assert dot.startswith('digraph "dma-controller"')
+        for state in ("idle", "arbitrating", "transfer"):
+            assert f'"{state}"' in dot
+        assert '"idle" -> "arbitrating"' in dot
+        assert "x0 / y0" in dot
+
+    def test_initial_state_highlighted(self):
+        dot = spec_to_dot(build_controller("handshake"))
+        assert "peripheries=2" in dot
+
+    def test_empty_output_burst_rendered(self):
+        spec = build_controller("scsi-target-send")
+        dot = spec_to_dot(spec)
+        assert "/ —" in dot  # the closing burst has no output changes
+
+    def test_balanced_braces(self):
+        dot = spec_to_dot(build_controller("dram-refresh"))
+        assert dot.count("{") == dot.count("}")
+
+
+class TestTotalStateDot:
+    def test_unrolled_states_present(self):
+        result = synthesize(build_controller("dma-controller"))
+        dot = total_state_graph_to_dot(result)
+        # six total states after polarity unrolling
+        assert dot.count("shape=box") == 1
+        assert dot.count('" -> "') == len(result.unrolled()[1])
+        assert "idle@000" in dot
+
+    def test_output_polarity_labels(self):
+        result = synthesize(build_controller("handshake"))
+        dot = total_state_graph_to_dot(result)
+        assert "out=0" in dot and "out=1" in dot

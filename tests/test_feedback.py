@@ -1,0 +1,136 @@
+"""Tests for the closed-loop (locally-clocked) controller simulator."""
+
+import random
+
+import pytest
+
+from repro.bm import build_controller, controller_names, synthesize
+from repro.cubes import Cover
+from repro.hf import espresso_hf
+from repro.hazards.verify import verify_hazard_free_cover
+from repro.simulate import (
+    ClosedLoopMachine,
+    FeedbackSimulationError,
+    run_spec_walk,
+)
+
+
+@pytest.fixture(scope="module")
+def handshake_machine():
+    synth = synthesize(build_controller("handshake"))
+    cover = espresso_hf(synth.instance).cover
+    return synth, cover
+
+
+def corrupted_cover(synth):
+    """Split a cover cube so one required cube loses single-cube containment.
+
+    The function implemented is unchanged (the two halves cover exactly the
+    same points), but Theorem 2.11(b) is violated — the classic recipe for a
+    static logic hazard.
+    """
+    inst = synth.instance
+    cover = espresso_hf(inst).cover
+    for q in inst.required_cubes():
+        if q.cube.num_dc() < 1:
+            continue
+        for c in cover:
+            if not (c.has_output(q.output) and c.contains_input(q.cube)):
+                continue
+            free = [i for i in q.cube.free_vars() if c.literal(i) == 3]
+            if not free:
+                continue
+            pieces = [c.with_literal(free[0], 1), c.with_literal(free[0], 2)]
+            return Cover(
+                inst.n_inputs,
+                [d for d in cover if d != c] + pieces,
+                inst.n_outputs,
+            )
+    raise AssertionError("no splittable cube found")
+
+
+class TestClosedLoopMachine:
+    def test_reset_requires_stability(self, handshake_machine):
+        synth, cover = handshake_machine
+        machine = ClosedLoopMachine(cover, synth.n_spec_inputs, synth.n_synth_states)
+        states, _ = synth.unrolled()
+        good = [0] * synth.n_synth_states
+        good[0] = 1
+        machine.reset(states[0].inputs, good)
+        # the wrong state code for these input polarities is unstable:
+        # state 1 (busy) with idle's entry inputs sits at the end point of
+        # busy's outgoing burst, where the next-state logic points elsewhere
+        bad = [0] * synth.n_synth_states
+        bad[1] = 1
+        with pytest.raises(FeedbackSimulationError):
+            machine.reset(states[0].inputs, bad)
+
+    def test_shape_validation(self, handshake_machine):
+        synth, cover = handshake_machine
+        with pytest.raises(ValueError):
+            ClosedLoopMachine(cover, synth.n_spec_inputs + 1, synth.n_synth_states)
+
+    def test_step_reaches_successor(self, handshake_machine):
+        synth, cover = handshake_machine
+        machine = ClosedLoopMachine(
+            cover, synth.n_spec_inputs, synth.n_synth_states, rng=random.Random(7)
+        )
+        states, edges = synth.unrolled()
+        code = [0] * len(states)
+        code[0] = 1
+        machine.reset(states[0].inputs, code)
+        burst, dst = next(
+            (b, d) for s, b, _o, d in edges if s == states[0]
+        )
+        report = machine.step(sorted(burst))
+        assert report.glitching_functions() == []
+        idx = states.index(dst)
+        assert report.new_state[idx] == 1 and sum(report.new_state) == 1
+
+    def test_burst_index_validated(self, handshake_machine):
+        synth, cover = handshake_machine
+        machine = ClosedLoopMachine(cover, synth.n_spec_inputs, synth.n_synth_states)
+        states, _ = synth.unrolled()
+        code = [0] * synth.n_synth_states
+        code[0] = 1
+        machine.reset(states[0].inputs, code)
+        with pytest.raises(ValueError):
+            machine.step([synth.n_spec_inputs])  # a state variable index
+
+
+@pytest.mark.parametrize("name", controller_names())
+def test_spec_walk_clean_on_every_controller(name):
+    synth = synthesize(build_controller(name))
+    cover = espresso_hf(synth.instance).cover
+    reports = run_spec_walk(cover, synth, n_steps=20, seed=11)
+    assert reports  # at least one step taken
+    for r in reports:
+        assert r.glitching_functions() == []
+
+
+class TestHazardousCoverCaught:
+    @pytest.mark.parametrize("name", ["scsi-target-send", "dma-controller"])
+    def test_split_cube_glitches(self, name):
+        synth = synthesize(build_controller(name))
+        bad = corrupted_cover(synth)
+        # the verifier flags it statically ...
+        assert verify_hazard_free_cover(synth.instance, bad)
+        # ... and the closed-loop walk catches it dynamically
+        caught = 0
+        for seed in range(25):
+            try:
+                run_spec_walk(bad, synth, n_steps=40, seed=seed)
+            except FeedbackSimulationError:
+                caught += 1
+        assert caught > 0
+
+    def test_functionally_equivalent(self, handshake_machine):
+        """The corruption preserves the function (only hazards change)."""
+        synth = synthesize(build_controller("scsi-target-send"))
+        inst = synth.instance
+        good = espresso_hf(inst).cover
+        bad = corrupted_cover(synth)
+        for t in inst.transitions:
+            for vec in [t.start, t.end]:
+                for j in range(inst.n_outputs):
+                    assert good.evaluate(vec, j) == bad.evaluate(vec, j)

@@ -1,0 +1,140 @@
+"""Tests for the MINCOV unate covering solver."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mincov import CoveringMatrix, solve_mincov, CoveringExplosionError
+
+
+def brute_force_mincov(rows, n_cols, weights=None):
+    weights = weights or [1] * n_cols
+    best = None
+    best_cost = None
+    for r in range(n_cols + 1):
+        for combo in itertools.combinations(range(n_cols), r):
+            chosen = set(combo)
+            if all(chosen & set(row) for row in rows):
+                cost = sum(weights[j] for j in chosen)
+                if best_cost is None or cost < best_cost:
+                    best, best_cost = chosen, cost
+        if best is not None:
+            # all smaller sizes exhausted; with unit weights we can stop early
+            if weights == [1] * n_cols:
+                break
+    return best, best_cost
+
+
+class TestMatrixReductions:
+    def test_essential_column(self):
+        m = CoveringMatrix([[0], [0, 1], [1, 2]], 3)
+        essentials = m.reduce()
+        assert 0 in essentials
+
+    def test_infeasible_row(self):
+        m = CoveringMatrix([[]], 2)
+        assert m.reduce() is None
+
+    def test_row_dominance_removes_superset_row(self):
+        m = CoveringMatrix([[0], [0, 1]], 2)
+        m.reduce()
+        # row [0,1] is dominated (easier); selecting col 0 solves everything
+        assert m.is_solved()
+
+    def test_column_dominance(self):
+        m = CoveringMatrix([[0, 1], [0, 1], [0]], 2)
+        m.reduce()
+        assert m.is_solved()
+
+    def test_select_column(self):
+        m = CoveringMatrix([[0, 1], [1]], 2)
+        m.select_column(1)
+        assert m.is_solved()
+
+    def test_independent_row_bound(self):
+        m = CoveringMatrix([[0], [1], [2]], 3)
+        bound, rows = m.independent_row_bound()
+        assert bound == 3
+        assert len(rows) == 3
+
+
+class TestSolver:
+    def test_simple_exact(self):
+        rows = [[0, 1], [1, 2], [2, 3]]
+        sol = solve_mincov(rows, 4)
+        assert sol is not None
+        assert all(set(sol) & set(r) for r in rows)
+        assert len(sol) == 2
+
+    def test_infeasible_returns_none(self):
+        assert solve_mincov([[0], []], 2) is None
+
+    def test_weighted(self):
+        # col 0 covers everything but is expensive; cols 1,2 are cheap
+        rows = [[0, 1], [0, 2]]
+        sol = solve_mincov(rows, 3, weights=[5, 1, 1])
+        assert sol == {1, 2}
+
+    def test_heuristic_is_valid(self):
+        rows = [[0, 1], [1, 2], [0, 2], [3]]
+        sol = solve_mincov(rows, 4, heuristic=True)
+        assert sol is not None
+        assert all(set(sol) & set(r) for r in rows)
+
+    def test_node_limit(self):
+        # A dense cyclic problem forcing branching with limit 1 node.
+        rows = [[i, (i + 1) % 8] for i in range(8)]
+        with pytest.raises(CoveringExplosionError):
+            solve_mincov(rows, 8, node_limit=0)
+
+    def test_empty_problem(self):
+        assert solve_mincov([], 3) == set()
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        st.lists(
+            st.sets(st.integers(0, 6), min_size=1, max_size=4),
+            min_size=1,
+            max_size=7,
+        )
+    )
+    def test_exact_matches_brute_force_cardinality(self, rows):
+        rows = [sorted(r) for r in rows]
+        sol = solve_mincov(rows, 7)
+        expected, expected_cost = brute_force_mincov(rows, 7)
+        assert sol is not None and expected is not None
+        assert all(set(sol) & set(r) for r in rows)
+        assert len(sol) == expected_cost
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.lists(
+            st.sets(st.integers(0, 5), min_size=1, max_size=3),
+            min_size=1,
+            max_size=6,
+        ),
+        st.lists(st.integers(1, 5), min_size=6, max_size=6),
+    )
+    def test_weighted_exact_matches_brute_force(self, rows, weights):
+        rows = [sorted(r) for r in rows]
+        sol = solve_mincov(rows, 6, weights=weights)
+        _, expected_cost = brute_force_mincov(rows, 6, weights)
+        assert sol is not None
+        assert sum(weights[j] for j in sol) == expected_cost
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.lists(
+            st.sets(st.integers(0, 6), min_size=1, max_size=4),
+            min_size=1,
+            max_size=7,
+        )
+    )
+    def test_heuristic_never_beats_exact(self, rows):
+        rows = [sorted(r) for r in rows]
+        exact = solve_mincov(rows, 7)
+        heur = solve_mincov(rows, 7, heuristic=True)
+        assert heur is not None
+        assert all(set(heur) & set(r) for r in rows)
+        assert len(heur) >= len(exact)

@@ -1,0 +1,102 @@
+"""Detailed tests of the CoveringMatrix reduction machinery."""
+
+import pytest
+
+from repro.mincov import CoveringMatrix
+from repro.mincov.matrix import _bits
+
+
+class TestConstruction:
+    def test_bad_column_rejected(self):
+        with pytest.raises(ValueError):
+            CoveringMatrix([[5]], 3)
+
+    def test_weights_length_checked(self):
+        with pytest.raises(ValueError):
+            CoveringMatrix([[0]], 2, weights=[1])
+
+    def test_counts(self):
+        m = CoveringMatrix([[0, 1], [1]], 3)
+        assert m.n_active_rows == 2
+        assert m.n_active_cols == 3
+
+
+class TestMutations:
+    def test_delete_column_keeps_rows(self):
+        m = CoveringMatrix([[0, 1]], 2)
+        m.delete_column(0)
+        assert m.n_active_rows == 1
+        assert m.row_columns(0) == [1]
+
+    def test_select_column_removes_covered_rows(self):
+        m = CoveringMatrix([[0], [0, 1], [1]], 2)
+        m.select_column(0)
+        assert m.n_active_rows == 1  # only the [1] row survives
+
+    def test_copy_is_independent(self):
+        m = CoveringMatrix([[0, 1], [1]], 2)
+        clone = m.copy()
+        clone.select_column(1)
+        assert m.n_active_rows == 2
+        assert clone.is_solved()
+
+
+class TestReductions:
+    def test_essential_chain(self):
+        # selecting the essential column for row0 solves row1 too
+        m = CoveringMatrix([[0], [0, 1]], 2)
+        essentials = m.reduce()
+        assert essentials == [0]
+        assert m.is_solved()
+
+    def test_row_dominance_drops_weaker_row(self):
+        m = CoveringMatrix([[0, 1, 2], [0, 1]], 3)
+        m.reduce()
+        # [0,1,2] is dominated (superset of options); only [0,1] drives
+        assert 0 not in m.row_masks or 1 not in m.row_masks
+
+    def test_duplicate_rows_collapse(self):
+        m = CoveringMatrix([[0, 1], [0, 1], [0, 1]], 2)
+        m._row_dominance()
+        assert m.n_active_rows == 1
+
+    def test_column_dominance_respects_weights(self):
+        # col1 covers a subset of col0's rows but is much cheaper: col1 must
+        # NOT be deleted in favour of the expensive col0
+        m = CoveringMatrix([[0, 1], [0]], 2, weights=[10, 1])
+        m._column_dominance()
+        assert 1 in m.col_masks
+
+    def test_useless_columns_removed(self):
+        m = CoveringMatrix([[0]], 3)
+        m._column_dominance()
+        assert 1 not in m.col_masks and 2 not in m.col_masks
+
+    def test_infeasible_detected_after_deletion(self):
+        m = CoveringMatrix([[0]], 1)
+        m.delete_column(0)
+        assert m.reduce() is None
+
+
+class TestBounds:
+    def test_weighted_bound(self):
+        m = CoveringMatrix([[0], [1]], 2, weights=[3, 4])
+        bound, rows = m.independent_row_bound()
+        assert bound == 7
+        assert sorted(rows) == [0, 1]
+
+    def test_overlapping_rows_not_independent(self):
+        m = CoveringMatrix([[0, 1], [1, 2]], 3)
+        bound, rows = m.independent_row_bound()
+        assert len(rows) == 1 and bound == 1
+
+    def test_branch_row_picks_hardest(self):
+        m = CoveringMatrix([[0, 1, 2], [1]], 3)
+        assert m.branch_row() == 1
+
+    def test_best_greedy_column(self):
+        m = CoveringMatrix([[0, 1], [0], [0]], 2)
+        assert m.best_greedy_column() == 0
+
+    def test_bits_helper(self):
+        assert list(_bits(0b1011)) == [0, 1, 3]

@@ -1,0 +1,142 @@
+"""Tests for PLA reading/writing and instance round-trips."""
+
+import pytest
+
+from repro.cubes import Cover
+from repro.hazards import Transition
+from repro.pla import read_pla, parse_pla, write_pla, format_pla, format_cover, PlaError
+
+from tests.test_hazards import figure3_instance
+
+
+SAMPLE = """\
+# a comment
+.i 3
+.o 2
+.ilb a b c
+.ob f g
+.type fr
+.p 3
+11- 10
+0-1 01
+10- 00
+.trans 110 111
+.e
+"""
+
+
+class TestParse:
+    def test_basic_fields(self):
+        pla = parse_pla(SAMPLE)
+        assert pla.n_inputs == 3
+        assert pla.n_outputs == 2
+        assert pla.input_labels == ["a", "b", "c"]
+        assert pla.output_labels == ["f", "g"]
+        assert pla.pla_type == "fr"
+
+    def test_on_off_split(self):
+        pla = parse_pla(SAMPLE)
+        # under .type fr every '0' output position is an OFF membership
+        assert len(pla.on) == 2
+        assert len(pla.off) == 3
+        both_off = [c for c in pla.off if c.input_string() == "10-"]
+        assert both_off and both_off[0].output_string() == "11"
+
+    def test_transitions(self):
+        pla = parse_pla(SAMPLE)
+        assert pla.transitions == [Transition((1, 1, 0), (1, 1, 1))]
+
+    def test_single_output_shorthand(self):
+        pla = parse_pla(".i 2\n.o 1\n.type f\n11\n0-\n.e\n")
+        assert len(pla.on) == 2
+
+    def test_type_f_zero_is_ignored(self):
+        pla = parse_pla(".i 2\n.o 2\n.type f\n11 10\n.e\n")
+        assert len(pla.on) == 1
+        assert len(pla.off) == 0
+
+    def test_type_fd_dash_is_dc(self):
+        pla = parse_pla(".i 2\n.o 2\n.type fd\n11 1-\n.e\n")
+        assert len(pla.dc) == 1
+
+    def test_errors(self):
+        with pytest.raises(PlaError):
+            parse_pla(".o 1\n11 1\n.e\n")  # missing .i
+        with pytest.raises(PlaError):
+            parse_pla(".i 2\n.o 1\n111 1\n.e\n")  # wrong width
+        with pytest.raises(PlaError):
+            parse_pla(".i 2\n.o 1\n.type zz\n.e\n")
+        with pytest.raises(PlaError):
+            parse_pla(".i 2\n.o 1\n.trans 11\n.e\n")
+        with pytest.raises(PlaError):
+            parse_pla(".i 2\n.o 1\n.bogus\n.e\n")
+
+    def test_to_instance_requires_off(self):
+        pla = parse_pla(".i 2\n.o 1\n.type f\n11 1\n.e\n")
+        with pytest.raises(PlaError):
+            pla.to_instance()
+
+
+class TestRoundTrip:
+    def test_instance_round_trip(self, tmp_path):
+        inst = figure3_instance()
+        path = tmp_path / "fig3.pla"
+        write_pla(inst, path)
+        pla = read_pla(path)
+        back = pla.to_instance()
+        assert back.n_inputs == inst.n_inputs
+        assert back.n_outputs == inst.n_outputs
+        assert back.transitions == inst.transitions
+        # same required/privileged structure
+        assert {(q.cube.inbits, q.output) for q in back.required_cubes()} == {
+            (q.cube.inbits, q.output) for q in inst.required_cubes()
+        }
+        assert {(p.cube.inbits, p.start.inbits) for p in back.privileged_cubes()} == {
+            (p.cube.inbits, p.start.inbits) for p in inst.privileged_cubes()
+        }
+
+    def test_cover_round_trip(self, tmp_path):
+        cover = Cover.from_strings(["11- 10", "0-1 01"])
+        path = tmp_path / "cover.pla"
+        write_pla(cover, path, pla_type="f", name="test")
+        pla = read_pla(path)
+        assert {(c.inbits, c.outbits) for c in pla.on} == {
+            (c.inbits, c.outbits) for c in cover
+        }
+
+    def test_format_cover_contains_counts(self):
+        cover = Cover.from_strings(["11-", "0-1"])
+        text = format_cover(cover)
+        assert ".p 2" in text
+        assert ".i 3" in text
+
+    def test_format_pla_has_trans_lines(self):
+        text = format_pla(figure3_instance())
+        assert text.count(".trans") == 5
+        assert ".type fr" in text
+
+
+class TestRoundTripProperty:
+    def test_random_instances_round_trip(self):
+        """Seeded random instances survive PLA write/read with identical
+        hazard structure (required/privileged cubes and existence)."""
+        from hypothesis import given, settings, strategies as st
+
+        from repro.bm.random_spec import random_instance
+        from repro.hazards import hazard_free_solution_exists
+        from repro.pla import parse_pla, format_pla
+
+        @settings(max_examples=25, deadline=None)
+        @given(st.integers(0, 10_000), st.integers(2, 4), st.integers(1, 3))
+        def inner(seed, n, m):
+            inst = random_instance(n, m, n_transitions=3, seed=seed)
+            back = parse_pla(format_pla(inst), name=inst.name).to_instance()
+            assert back.transitions == inst.transitions
+            assert {(q.cube.inbits, q.output) for q in back.required_cubes()} == {
+                (q.cube.inbits, q.output) for q in inst.required_cubes()
+            }
+            assert hazard_free_solution_exists(back) == hazard_free_solution_exists(
+                inst
+            )
+
+        inner()

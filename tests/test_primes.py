@@ -1,0 +1,167 @@
+"""Tests for prime implicant generation (single- and multi-output)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cubes import Cube, Cover
+from repro.espresso import all_primes, all_primes_multi, quine_mccluskey
+from repro.espresso.primes import PrimeExplosionError
+
+
+def brute_force_primes(cover):
+    """All maximal input cubes contained in the cover (exponential oracle)."""
+    n = cover.n_inputs
+    implicants = []
+    for lits in itertools.product((1, 2, 3), repeat=n):
+        cube = Cube.from_literals(lits)
+        if all(cover.evaluate(v) for v in cube.minterm_vectors()):
+            implicants.append(cube)
+    return {
+        c
+        for c in implicants
+        if not any(d != c and d.contains_input(c) for d in implicants)
+    }
+
+
+def brute_force_multi_primes(cover):
+    """All maximal (input cube, output set) implicants of a multi-output cover."""
+    n, m = cover.n_inputs, cover.n_outputs
+    implicants = []
+    for lits in itertools.product((1, 2, 3), repeat=n):
+        probe = Cube.from_literals(lits)  # single-output probe for enumeration
+        outs = 0
+        for j in range(m):
+            if all(cover.evaluate(v, j) for v in probe.minterm_vectors()):
+                outs |= 1 << j
+        if outs:
+            implicants.append(Cube.from_literals(lits, outbits=outs, n_outputs=m))
+    return {
+        c
+        for c in implicants
+        if not any(d != c and d.contains(c) for d in implicants)
+    }
+
+
+cover_strategy = st.integers(1, 4).flatmap(
+    lambda n: st.builds(
+        lambda rows: Cover(n, [Cube.from_literals(r) for r in rows]),
+        st.lists(
+            st.lists(st.integers(1, 3), min_size=n, max_size=n),
+            min_size=1,
+            max_size=5,
+        ),
+    )
+)
+
+multi_cover_strategy = st.tuples(st.integers(1, 3), st.integers(2, 3)).flatmap(
+    lambda nm: st.builds(
+        lambda rows: Cover(
+            nm[0],
+            [
+                Cube.from_literals(r[0], outbits=r[1], n_outputs=nm[1])
+                for r in rows
+            ],
+            nm[1],
+        ),
+        st.lists(
+            st.tuples(
+                st.lists(st.integers(1, 3), min_size=nm[0], max_size=nm[0]),
+                st.integers(1, (1 << nm[1]) - 1),
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+    )
+)
+
+
+class TestSingleOutputPrimes:
+    def test_two_cube_merge(self):
+        f = Cover.from_strings(["10", "11"])
+        primes = all_primes(f)
+        assert {p.input_string() for p in primes} == {"1-"}
+
+    def test_classic_example(self):
+        # f = a'b' + ab  -> primes are exactly the two cubes
+        f = Cover.from_strings(["00", "11"])
+        primes = all_primes(f)
+        assert {p.input_string() for p in primes} == {"00", "11"}
+
+    def test_consensus_prime_found(self):
+        # f = ab + a'c has consensus prime bc
+        f = Cover.from_strings(["11-", "0-1"])
+        primes = all_primes(f)
+        assert {p.input_string() for p in primes} == {"11-", "0-1", "-11"}
+
+    def test_tautology_single_prime(self):
+        f = Cover.from_strings(["1-", "0-"])
+        primes = all_primes(f)
+        assert [p.input_string() for p in primes] == ["--"]
+
+    @settings(max_examples=150, deadline=None)
+    @given(cover_strategy)
+    def test_matches_brute_force(self, cover):
+        primes = all_primes(cover)
+        expected = brute_force_primes(cover)
+        assert {(p.inbits) for p in primes} == {(p.inbits) for p in expected}
+
+    def test_limit_raises(self):
+        # Build a worst-case-ish function (parity-like) and give a tiny limit.
+        rows = ["".join("01"[(m >> i) & 1] for i in range(6)) for m in range(64) if bin(m).count("1") % 2]
+        f = Cover.from_strings(rows)
+        with pytest.raises(PrimeExplosionError):
+            all_primes(f, limit=3)
+
+
+class TestQuineMcCluskey:
+    def test_matches_recursive_primes(self):
+        on = [0, 1, 2, 5, 6, 7]
+        f = Cover(3, [Cube.from_index(3, m) for m in on])
+        qm = quine_mccluskey(on, n_inputs=3)
+        rec = all_primes(f)
+        assert {c.inbits for c in qm} == {c.inbits for c in rec}
+
+    def test_with_dont_cares(self):
+        qm = quine_mccluskey([1], [3], n_inputs=2)
+        # f = x0 with x0x1 don't-care -> single prime x0
+        assert {c.input_string() for c in qm} == {"1-"}
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.sets(st.integers(0, 15)), st.sets(st.integers(0, 15)))
+    def test_qm_matches_recursive_on_random(self, on, dc):
+        dc = dc - on
+        if not on and not dc:
+            return
+        f = Cover(4, [Cube.from_index(4, m) for m in sorted(on | dc)])
+        qm = quine_mccluskey(sorted(on), sorted(dc), n_inputs=4)
+        rec = all_primes(f)
+        assert {c.inbits for c in qm} == {c.inbits for c in rec}
+
+
+class TestMultiOutputPrimes:
+    def test_shared_cube_prime(self):
+        # f1 = a, f2 = b: the shared prime is (ab, {f1,f2})
+        f = Cover.from_strings(["1- 10", "-1 01"])
+        primes = all_primes_multi(f)
+        strs = {(p.input_string(), p.output_string()) for p in primes}
+        assert ("11", "11") in strs
+        assert ("1-", "10") in strs
+        assert ("-1", "01") in strs
+        assert len(strs) == 3
+
+    def test_identical_outputs_merge(self):
+        f = Cover.from_strings(["1- 10", "1- 01"])
+        primes = all_primes_multi(f)
+        strs = {(p.input_string(), p.output_string()) for p in primes}
+        assert strs == {("1-", "11")}
+
+    @settings(max_examples=80, deadline=None)
+    @given(multi_cover_strategy)
+    def test_matches_brute_force(self, cover):
+        primes = all_primes_multi(cover)
+        expected = brute_force_multi_primes(cover)
+        assert {(p.inbits, p.outbits) for p in primes} == {
+            (p.inbits, p.outbits) for p in expected
+        }

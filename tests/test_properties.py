@@ -1,0 +1,231 @@
+"""Cross-cutting property-based tests: algebra laws and algorithm invariants."""
+
+import itertools
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings, strategies as st
+
+from repro.cubes import Cube, Cover, minimize_scc
+from repro.cubes.operations import cube_sharp, supercube_of
+from repro.bm.random_spec import random_instance
+from repro.espresso import complement, tautology, all_primes, espresso
+from repro.espresso.irredundant import irredundant_cover
+from repro.espresso.tautology import cover_contains_cube
+from repro.hazards import hazard_free_solution_exists
+from repro.hf import espresso_hf, HFContext, NoSolutionError
+
+
+def cubes(n):
+    return st.builds(
+        Cube.from_literals,
+        st.lists(st.integers(1, 3), min_size=n, max_size=n),
+    )
+
+
+def covers(n, max_cubes=5):
+    return st.builds(
+        lambda rows: Cover(n, [Cube.from_literals(r) for r in rows]),
+        st.lists(
+            st.lists(st.integers(1, 3), min_size=n, max_size=n),
+            min_size=0,
+            max_size=max_cubes,
+        ),
+    )
+
+
+class TestCubeAlgebraLaws:
+    @settings(max_examples=200, deadline=None)
+    @given(cubes(4), cubes(4))
+    def test_intersection_commutative(self, a, b):
+        assert a.intersect(b) == b.intersect(a)
+
+    @settings(max_examples=200, deadline=None)
+    @given(cubes(4), cubes(4), cubes(4))
+    def test_intersection_associative(self, a, b, c):
+        assert a.intersect(b).intersect(c) == a.intersect(b.intersect(c))
+
+    @settings(max_examples=200, deadline=None)
+    @given(cubes(4), cubes(4))
+    def test_supercube_is_least_upper_bound(self, a, b):
+        sup = a.supercube(b)
+        assert sup.contains(a) and sup.contains(b)
+        # any cube containing both contains the supercube
+        for lits in itertools.product((1, 2, 3), repeat=4):
+            c = Cube.from_literals(lits)
+            if c.contains(a) and c.contains(b):
+                assert c.contains(sup)
+                break  # one witness suffices; full check is expensive
+
+    @settings(max_examples=200, deadline=None)
+    @given(cubes(4), cubes(4))
+    def test_containment_antisymmetric(self, a, b):
+        if a.contains(b) and b.contains(a):
+            assert a == b
+
+    @settings(max_examples=200, deadline=None)
+    @given(cubes(4), cubes(4))
+    def test_distance_zero_iff_intersects(self, a, b):
+        assert (a.input_distance(b) == 0) == a.intersects_input(b)
+
+    @settings(max_examples=150, deadline=None)
+    @given(cubes(4), cubes(4))
+    def test_sharp_partitions(self, a, b):
+        assume(not a.is_empty)
+        pieces = cube_sharp(a, b)
+        for vec in a.minterm_vectors():
+            in_b = b.contains_minterm(vec)
+            covered = any(p.contains_minterm(vec) for p in pieces)
+            assert covered == (not in_b)
+        # pieces never leak outside a
+        for p in pieces:
+            assert a.contains_input(p)
+
+    @settings(max_examples=150, deadline=None)
+    @given(covers(4))
+    def test_scc_preserves_function(self, cover):
+        reduced = minimize_scc(cover)
+        assert reduced.semantically_equal(cover)
+
+
+class TestDeMorganDuality:
+    @settings(max_examples=100, deadline=None)
+    @given(covers(4))
+    def test_double_complement(self, cover):
+        cc = complement(complement(cover))
+        assert cc.semantically_equal(cover)
+
+    @settings(max_examples=100, deadline=None)
+    @given(covers(4))
+    def test_cover_or_complement_is_tautology(self, cover):
+        union = cover.copy()
+        union.extend(complement(cover).cubes)
+        assert tautology(union)
+
+
+class TestEspressoInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(covers(4, max_cubes=6))
+    def test_result_cubes_are_prime(self, cover):
+        assume(not cover.drop_empty().is_empty)
+        result = espresso(cover)
+        primes = {p.inbits for p in all_primes(cover)}
+        for c in result:
+            assert c.inbits in primes, f"{c} is not a prime"
+
+    @settings(max_examples=40, deadline=None)
+    @given(covers(4, max_cubes=6))
+    def test_result_is_irredundant(self, cover):
+        assume(not cover.drop_empty().is_empty)
+        result = espresso(cover)
+        for c in result:
+            rest = result.without(c)
+            assert not cover_contains_cube(rest, c), f"{c} is redundant"
+
+    @settings(max_examples=60, deadline=None)
+    @given(covers(4, max_cubes=6))
+    def test_irredundant_idempotent(self, cover):
+        once = irredundant_cover(cover)
+        twice = irredundant_cover(once)
+        assert len(once) == len(twice)
+
+
+class TestSupercubeDhfProperties:
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.filter_too_much],
+    )
+    @given(st.integers(0, 5000))
+    def test_idempotent(self, seed):
+        inst = random_instance(4, 1, n_transitions=3, seed=seed)
+        ctx = HFContext(inst)
+        for q in inst.required_cubes():
+            first = ctx.supercube_dhf([q.cube], 1)
+            if first is None:
+                continue
+            again = ctx.supercube_dhf([first], 1)
+            assert again == first
+
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.filter_too_much],
+    )
+    @given(st.integers(0, 5000))
+    def test_monotone_in_input(self, seed):
+        """Adding cubes can only grow (or kill) the dhf-supercube."""
+        inst = random_instance(4, 1, n_transitions=3, seed=seed)
+        reqs = inst.required_cubes()
+        assume(len(reqs) >= 2)
+        ctx = HFContext(inst)
+        single = ctx.supercube_dhf([reqs[0].cube], 1)
+        pair = ctx.supercube_dhf([reqs[0].cube, reqs[1].cube], 1)
+        if single is not None and pair is not None:
+            assert pair.contains_input(single)
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.filter_too_much],
+    )
+    @given(st.integers(0, 5000))
+    def test_minimality(self, seed):
+        """No strictly smaller dhf-implicant contains the required cube."""
+        inst = random_instance(3, 1, n_transitions=3, seed=seed)
+        ctx = HFContext(inst)
+        for q in inst.required_cubes():
+            sup = ctx.supercube_dhf([q.cube], 1)
+            if sup is None:
+                continue
+            for lits in itertools.product((1, 2, 3), repeat=3):
+                cand = Cube.from_literals(lits)
+                if (
+                    cand != sup
+                    and cand.contains_input(q.cube)
+                    and sup.contains_input(cand)
+                ):
+                    assert not ctx.is_dhf_implicant(cand, 1)
+
+
+class TestEndToEndInvariants:
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.filter_too_much],
+    )
+    @given(st.integers(0, 20_000))
+    def test_hf_cover_cubes_are_dhf_prime(self, seed):
+        """After MAKE_DHF_PRIME, every cover cube is a dhf-prime: no single
+        raise is dhf-feasible."""
+        inst = random_instance(4, 1, n_transitions=3, seed=seed)
+        if not hazard_free_solution_exists(inst):
+            return
+        res = espresso_hf(inst)
+        ctx = HFContext(inst)
+        for c in res.cover:
+            for i in range(4):
+                if c.literal(i) == 3:
+                    continue
+                raised = c.with_literal(i, 3)
+                assert ctx.supercube_dhf([raised], c.outbits) is None
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.filter_too_much],
+    )
+    @given(st.integers(0, 20_000))
+    def test_hf_cover_is_irredundant(self, seed):
+        """No cover cube can be dropped without uncovering a required cube."""
+        inst = random_instance(4, 1, n_transitions=3, seed=seed)
+        if not hazard_free_solution_exists(inst):
+            return
+        res = espresso_hf(inst)
+        ctx = HFContext(inst)
+        reqs = ctx.canonical_required()
+        for c in res.cover:
+            rest = [d for d in res.cover if d != c]
+            uncovered = [
+                q for q in reqs if not any(ctx.covers(d, q) for d in rest)
+            ]
+            assert uncovered, f"{c} is redundant"

@@ -1,0 +1,80 @@
+"""Regression pins for the benchmark suite.
+
+Espresso-HF is deterministic, so the suite results are exact regression
+anchors: any change to the algorithm, the generator seeds or the covering
+solver that shifts a cover size shows up here immediately.  Update the
+table deliberately (and re-freeze the corpus) when such a change is
+intentional.
+"""
+
+import pytest
+
+from repro.bm.benchmarks import build_benchmark
+from repro.hf import espresso_hf
+from repro.hazards.verify import is_hazard_free_cover
+
+#: name -> (HF cover size, essential classes, canonical required cubes)
+EXPECTED = {
+    "cache-ctrl": (43, 27, 297),
+    "dram-ctrl": (9, 9, 14),
+    "pe-send-ifc": (18, 18, 44),
+    "pscsi-ircv": (6, 6, 9),
+    "pscsi-isend": (14, 14, 34),
+    "pscsi-pscsi": (27, 27, 66),
+    "pscsi-tsend": (18, 8, 52),
+    "pscsi-tsend-bm": (20, 20, 62),
+    "sd-control": (47, 47, 197),
+    "sscsi-isend-bm": (8, 8, 18),
+    "sscsi-trcv-bm": (9, 9, 12),
+    "sscsi-tsend-bm": (10, 10, 25),
+    "stetson-p1": (59, 47, 358),
+    "stetson-p2": (36, 36, 142),
+    "stetson-p3": (4, 4, 4),
+}
+
+FAST = [
+    "dram-ctrl",
+    "pscsi-ircv",
+    "pscsi-isend",
+    "pscsi-tsend",
+    "sscsi-isend-bm",
+    "sscsi-trcv-bm",
+    "sscsi-tsend-bm",
+    "stetson-p3",
+    "pe-send-ifc",
+    "pscsi-tsend-bm",
+]
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_fast_circuits_pinned(name):
+    instance = build_benchmark(name)
+    result = espresso_hf(instance)
+    assert (
+        result.num_cubes,
+        result.num_essential_classes,
+        result.num_canonical_required,
+    ) == EXPECTED[name]
+    assert is_hazard_free_cover(instance, result.cover)
+
+
+@pytest.mark.parametrize("name", ["stetson-p2", "pscsi-pscsi"])
+def test_medium_circuits_pinned(name):
+    instance = build_benchmark(name)
+    result = espresso_hf(instance)
+    assert (
+        result.num_cubes,
+        result.num_essential_classes,
+        result.num_canonical_required,
+    ) == EXPECTED[name]
+
+
+def test_large_circuits_pinned():
+    """stetson-p1 and sd-control in one test (a few seconds)."""
+    for name in ["stetson-p1", "sd-control"]:
+        result = espresso_hf(build_benchmark(name))
+        assert (
+            result.num_cubes,
+            result.num_essential_classes,
+            result.num_canonical_required,
+        ) == EXPECTED[name], name

@@ -1,0 +1,100 @@
+"""Detailed tests of the burst-mode synthesis value assignments."""
+
+import pytest
+
+from repro.bm import BurstModeSpec, SpecError, synthesize
+from repro.hazards.transitions import TransitionKind
+
+
+def two_state_spec(**kwargs):
+    spec = BurstModeSpec(2, 1, name="two", **kwargs)
+    spec.add_state("p")
+    spec.add_state("q")
+    spec.add_transition("p", "q", input_burst={0, 1}, output_burst={0})
+    spec.add_transition("q", "p", input_burst={0, 1}, output_burst={0})
+    return spec
+
+
+class TestValueAssignments:
+    def test_layout(self):
+        result = synthesize(two_state_spec())
+        inst = result.instance
+        # inputs: x0 x1 | s0 s1 ; outputs: Z0 Z1 | y0
+        assert inst.n_inputs == 4
+        assert inst.n_outputs == 3
+
+    def test_rest_points_pinned(self):
+        result = synthesize(two_state_spec())
+        inst = result.instance
+        # initial rest: x=00, state = one-hot p = 10 -> Z = (1,0), y = 0
+        vec = (0, 0, 1, 0)
+        assert inst.value(vec, 0) is True  # Z0 holds p
+        assert inst.value(vec, 1) is False
+        assert inst.value(vec, 2) is False  # y0 = 0 initially
+
+    def test_endpoint_switches_state_and_output(self):
+        result = synthesize(two_state_spec())
+        inst = result.instance
+        # end of the first burst: x=11, state still p
+        vec = (1, 1, 1, 0)
+        assert inst.value(vec, 0) is False  # Z0 releases p
+        assert inst.value(vec, 1) is True  # Z1 asserts q
+        assert inst.value(vec, 2) is True  # y0 toggles at the endpoint
+
+    def test_interior_holds_old_values(self):
+        result = synthesize(two_state_spec())
+        inst = result.instance
+        # one input flipped so far: x=10, state p
+        vec = (1, 0, 1, 0)
+        assert inst.value(vec, 0) is True
+        assert inst.value(vec, 1) is False
+        assert inst.value(vec, 2) is False
+
+    def test_transition_kinds(self):
+        result = synthesize(two_state_spec())
+        inst = result.instance
+        t = inst.transitions[0]
+        assert inst.kind(t, 0) is TransitionKind.FALLING  # Z0: p released
+        assert inst.kind(t, 1) is TransitionKind.RISING  # Z1: q asserted
+        assert inst.kind(t, 2) is TransitionKind.RISING  # y0 toggles up
+
+    def test_failsafe_pins_unreachable_codes(self):
+        inst = synthesize(two_state_spec(), failsafe=True).instance
+        # all-zero state code: every output pinned 0
+        for j in range(inst.n_outputs):
+            assert inst.value((0, 0, 0, 0), j) is False
+            assert inst.value((1, 1, 1, 1), j) is False  # two-hot code
+
+    def test_no_failsafe_leaves_codes_undefined(self):
+        inst = synthesize(two_state_spec(), failsafe=False).instance
+        assert inst.value((0, 0, 0, 0), 0) is None
+
+    def test_initial_polarities_respected(self):
+        spec = two_state_spec(initial_inputs=(1, 0), initial_outputs=(1,))
+        result = synthesize(spec)
+        inst = result.instance
+        # rest point at x=10, state p: y0 = 1
+        assert inst.value((1, 0, 1, 0), 2) is True
+        # burst toggles both inputs: endpoint x=01
+        t = inst.transitions[0]
+        assert t.start == (1, 0, 1, 0)
+        assert t.end == (0, 1, 1, 0)
+
+    def test_state_names(self):
+        result = synthesize(two_state_spec())
+        assert result.state_names == ["p@00", "q@11"]
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(SpecError):
+            synthesize(BurstModeSpec(1, 1))
+
+    def test_sink_state_allowed(self):
+        spec = BurstModeSpec(1, 1, name="sink")
+        spec.add_state("a")
+        spec.add_state("b")
+        spec.add_transition("a", "b", input_burst={0})
+        result = synthesize(spec)
+        # b has no outgoing bursts; its rest point is still pinned
+        inst = result.instance
+        assert result.n_synth_states == 2
+        assert inst.value((1, 0, 1), 1) is True  # Z1 holds b at its rest
