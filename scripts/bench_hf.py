@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Persistent Espresso-HF benchmark baseline.
+
+Runs the minimizer over the benchmark suite and writes a JSON snapshot —
+per-circuit wall time (best of ``--repeats``), cover size, and the
+operator-level performance counters — to ``BENCH_espresso_hf.json`` at the
+repository root.  Committing the snapshot gives every future change a
+baseline to diff against: cover-size changes are correctness regressions,
+time/counter changes are performance ones.
+
+Usage::
+
+    python scripts/bench_hf.py                        # full 15-circuit suite
+    python scripts/bench_hf.py --circuits dram-ctrl stetson-p3
+    python scripts/bench_hf.py --repeats 5 --output /tmp/bench.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.bm.benchmarks import BENCHMARKS, build_benchmark  # noqa: E402
+from repro.hazards.verify import verify_hazard_free_cover  # noqa: E402
+from repro.hf import espresso_hf  # noqa: E402
+
+
+def bench_circuit(name: str, repeats: int, verify: bool) -> dict:
+    """Best-of-``repeats`` measurement of one circuit."""
+    instance = build_benchmark(name)
+    best_time = None
+    best_result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = espresso_hf(instance)
+        elapsed = time.perf_counter() - t0
+        if best_time is None or elapsed < best_time:
+            best_time = elapsed
+            best_result = result
+    row = {
+        "name": name,
+        "n_inputs": instance.n_inputs,
+        "n_outputs": instance.n_outputs,
+        "num_cubes": best_result.num_cubes,
+        "num_literals": best_result.num_literals,
+        "num_essential_classes": best_result.num_essential_classes,
+        "num_canonical_required": best_result.num_canonical_required,
+        "time_s": round(best_time, 6),
+        "phase_seconds": {
+            k: round(v, 6) for k, v in best_result.phase_seconds.items()
+        },
+        "counters": best_result.counters.as_dict(),
+    }
+    if verify:
+        violations = verify_hazard_free_cover(instance, best_result.cover)
+        row["verified"] = not violations
+    return row
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--circuits",
+        nargs="+",
+        metavar="NAME",
+        help="subset of benchmark circuits (default: the full suite)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="runs per circuit; the fastest is reported (default 3)",
+    )
+    parser.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the Theorem 2.11 hazard-freedom check",
+    )
+    parser.add_argument(
+        "--output",
+        default=os.path.join(REPO_ROOT, "BENCH_espresso_hf.json"),
+        help="snapshot path (default: BENCH_espresso_hf.json at repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    known = {b.name for b in BENCHMARKS}
+    names = args.circuits or [b.name for b in BENCHMARKS]
+    unknown = [n for n in names if n not in known]
+    if unknown:
+        parser.error(f"unknown circuits: {', '.join(unknown)}")
+
+    rows = []
+    for name in names:
+        row = bench_circuit(name, args.repeats, verify=not args.no_verify)
+        rows.append(row)
+        status = "" if row.get("verified", True) else "  VERIFY FAILED"
+        print(
+            f"{name:18s} {row['num_cubes']:4d} cubes "
+            f"{row['time_s']:8.3f}s  "
+            f"supercube hits {row['counters']['supercube_hit_rate']:.0%}"
+            f"{status}"
+        )
+
+    snapshot = {
+        "suite": "espresso-hf",
+        "python": sys.version.split()[0],
+        "repeats": args.repeats,
+        "total_time_s": round(sum(r["time_s"] for r in rows), 6),
+        "circuits": rows,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(snapshot, fh, indent=2)
+        fh.write("\n")
+    print(f"total {snapshot['total_time_s']:.3f}s -> {args.output}")
+    return 0 if all(r.get("verified", True) for r in rows) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

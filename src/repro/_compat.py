@@ -1,0 +1,14 @@
+"""Version compatibility shims.
+
+``int.bit_count`` arrived in Python 3.10.  The project supports 3.9, where
+counting ones in the ``bin`` string is the fastest pure-Python popcount for
+the big ints used throughout (the cube encoding and the coverage bitsets).
+"""
+
+try:
+    popcount = int.bit_count  # Python >= 3.10
+except AttributeError:  # pragma: no cover - only reachable on Python 3.9
+
+    def popcount(value):
+        """Number of set bits in a non-negative int."""
+        return bin(value).count("1")

@@ -129,6 +129,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"# {result.summary()}", file=sys.stderr)
                 for phase, seconds in result.phase_seconds.items():
                     print(f"# {phase}: {seconds:.2f}s", file=sys.stderr)
+                for line in result.counters.summary_lines():
+                    print(f"# {line}", file=sys.stderr)
     except NoSolutionError as exc:
         print(f"no hazard-free cover exists: {exc}", file=sys.stderr)
         return 1
@@ -148,7 +150,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.report:
         from repro.report import minimization_report
 
-        print(minimization_report(instance, cover), file=sys.stderr)
+        counters = getattr(result, "counters", None)
+        print(
+            minimization_report(instance, cover, counters=counters),
+            file=sys.stderr,
+        )
 
     if args.simulate > 0:
         from repro.simulate import SopNetwork, find_glitch

@@ -6,6 +6,7 @@ from typing import List
 
 from repro.cubes.cube import Cube
 from repro.cubes.cover import Cover
+from repro._compat import popcount
 
 
 def minimize_scc(cover: Cover) -> Cover:
@@ -21,7 +22,7 @@ def minimize_scc(cover: Cover) -> Cover:
     # after a potential container; ties broken by encoding for determinism.
     candidates = sorted(
         (c for c in cover if not c.is_empty),
-        key=lambda c: (-(c.num_dc()), -(c.outbits.bit_count()), c.inbits, c.outbits),
+        key=lambda c: (-(c.num_dc()), -popcount(c.outbits), c.inbits, c.outbits),
     )
     kept: List[Cube] = []
     for c in candidates:

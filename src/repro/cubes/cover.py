@@ -100,8 +100,14 @@ class Cover:
             and sorted(self.cubes) == sorted(other.cubes)
         )
 
-    def __hash__(self):
-        return hash((self.n_inputs, self.n_outputs, tuple(sorted(self.cubes))))
+    # A Cover is mutated in place by append/extend, so hashing by content
+    # would let a dict/set key change under the container.  Unhashable is
+    # the honest contract; use ``key()`` for an explicit content snapshot.
+    __hash__ = None
+
+    def key(self) -> tuple:
+        """Immutable content snapshot, usable as a dict/set key."""
+        return (self.n_inputs, self.n_outputs, tuple(sorted(self.cubes)))
 
     @property
     def is_empty(self) -> bool:

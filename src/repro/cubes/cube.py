@@ -22,6 +22,8 @@ from __future__ import annotations
 from functools import lru_cache
 from typing import Iterable, Iterator, Optional, Sequence, Tuple
 
+from repro._compat import popcount
+
 LITERAL_EMPTY = 0
 LITERAL_ZERO = 1
 LITERAL_ONE = 2
@@ -253,7 +255,7 @@ class Cube:
         """
         self._check_shape(other)
         meet = self.inbits & other.inbits
-        dist = empty_pairs(meet, self.n_inputs).bit_count()
+        dist = popcount(empty_pairs(meet, self.n_inputs))
         if self.n_outputs > 1 and (self.outbits & other.outbits) == 0:
             dist += 1
         return dist
@@ -261,7 +263,7 @@ class Cube:
     def input_distance(self, other: "Cube") -> int:
         """Number of conflicting input variables (output part ignored)."""
         meet = self.inbits & other.inbits
-        return empty_pairs(meet, self.n_inputs).bit_count()
+        return popcount(empty_pairs(meet, self.n_inputs))
 
     def conflict_vars(self, other: "Cube") -> Iterator[int]:
         """Indices of input variables on which the cubes conflict."""
@@ -296,11 +298,11 @@ class Cube:
 
     def num_literals(self) -> int:
         """Number of specified (non-DC) input literals, i.e. AND-gate fan-in."""
-        return self.n_inputs - dc_pairs(self.inbits, self.n_inputs).bit_count()
+        return self.n_inputs - popcount(dc_pairs(self.inbits, self.n_inputs))
 
     def num_dc(self) -> int:
         """Number of don't-care input positions."""
-        return dc_pairs(self.inbits, self.n_inputs).bit_count()
+        return popcount(dc_pairs(self.inbits, self.n_inputs))
 
     def num_minterms(self) -> int:
         """Number of input minterms the cube spans (per output)."""

@@ -6,6 +6,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.cubes.cube import Cube
 from repro.cubes.cover import Cover
+from repro._compat import popcount
 
 
 def cube_sharp(a: Cube, b: Cube) -> List[Cube]:
@@ -65,7 +66,7 @@ def consensus(a: Cube, b: Cube) -> Optional[Cube]:
     from repro.cubes.cube import empty_pairs
 
     conflicts = empty_pairs(meet_in, a.n_inputs)
-    n_in_conflicts = conflicts.bit_count()
+    n_in_conflicts = popcount(conflicts)
     out_meet = a.outbits & b.outbits
     out_disjoint = out_meet == 0 and a.n_outputs > 1
     if n_in_conflicts + (1 if out_disjoint else 0) != 1:

@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.cubes.cube import Cube, LITERAL_ONE, LITERAL_ZERO, dc_pairs, full_input_mask
 from repro.cubes.cover import Cover
 from repro.espresso.unate import select_binate_var
+from repro._compat import popcount
 
 
 def _has_universal_row(cover: Cover) -> bool:
@@ -30,7 +31,7 @@ def tautology(cover: Cover) -> bool:
     total = 0
     target = 1 << n
     for c in cover:
-        total += 1 << dc_pairs(c.inbits, n).bit_count()
+        total += 1 << popcount(dc_pairs(c.inbits, n))
         if total >= target:
             break
     if total < target:

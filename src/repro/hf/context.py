@@ -16,6 +16,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.cubes.cube import Cube
 from repro.cubes.cover import Cover
 from repro.hazards.instance import HazardFreeInstance, PrivilegedCube
+from repro.hf.coverage import CoverageIndex
+from repro.perf import PerfCounters
 
 #: cache sentinel distinguishing "not computed" from a computed ``None``
 _MISSING = object()
@@ -50,10 +52,14 @@ class HFContext:
     only on the supercube's input bits and the output set.
     """
 
-    def __init__(self, instance: HazardFreeInstance):
+    def __init__(
+        self, instance: HazardFreeInstance, perf: Optional[PerfCounters] = None
+    ):
         self.instance = instance
         self.n_inputs = instance.n_inputs
         self.n_outputs = instance.n_outputs
+        self.perf = perf if perf is not None else PerfCounters()
+        self.coverage = CoverageIndex(self.n_outputs, self.perf)
         self.priv_by_output: List[List[PrivilegedCube]] = [
             instance.privileged_for_output(j) for j in range(self.n_outputs)
         ]
@@ -68,12 +74,26 @@ class HFContext:
             [(p.cube.inbits, p.start.inbits) for p in privs]
             for privs in self.priv_by_output
         ]
+        m01 = self._mask01
         self._off_bits_by_output = [
-            [o.inbits for o in off if not o.is_empty] for off in self.off_by_output
+            [
+                o.inbits
+                for o in off
+                if not (~(o.inbits | (o.inbits >> 1)) & m01)
+            ]
+            for off in self.off_by_output
         ]
         self._priv_bits_cache: Dict[int, List[Tuple[int, int]]] = {}
         self._off_bits_cache: Dict[int, List[int]] = {}
         self._supercube_cache: Dict[Tuple[int, int], Optional[int]] = {}
+        #: outbits -> SWAR environment for the supercube fixpoint loop
+        self._outbits_env_cache: Dict[int, tuple] = {}
+        self._output_swar_cache: Dict[int, tuple] = {}
+        self._output_unions: Dict[int, Tuple[int, int]] = {}
+        self._rep_cache: Dict[int, int] = {}
+        #: SWAR block width: the input part plus one always-zero spare bit,
+        #: so per-block values stay below the high (zero-flag) bit.
+        self._block_width = 2 * self.n_inputs + 1
 
     # ------------------------------------------------------------------
     # supercube_dhf over an output set
@@ -97,37 +117,254 @@ class HFContext:
         return Cube(self.n_inputs, result, 1, 1)
 
     def supercube_dhf_bits(self, r: int, outbits: int) -> Optional[int]:
-        """Bitmask core of ``supercube_dhf`` (memoized)."""
+        """Bitmask core of ``supercube_dhf`` (memoized).
+
+        The fixpoint loop is SWAR-batched: all privileged cubes of the
+        output set are concatenated into one big int (one block of
+        ``2n + 1`` bits per cube — the spare top bit keeps the zero-block
+        detector carry-free), so a whole forced-expansion pass is a handful
+        of big-int operations instead of a Python scan.  Per pass:
+        replicate ``r`` across blocks, AND with the concatenated cubes,
+        flag the blocks whose intersection is non-empty with the carry-free
+        zero-block trick ``hi & ~(t + low)``, expand those flags to block
+        masks selecting the start points, and OR-fold the selected start
+        bits into ``r`` in one shot.  Start points already contained in
+        ``r`` are no-ops under OR, so the batch pass reaches the same
+        (confluent) fixpoint as the sequential scan.  The OFF-set
+        intersection check is the same one-shot pattern.
+
+        Two further accelerations on top of the memo table:
+
+        * a variable-support prefilter: once ``r`` is don't-care on every
+          variable any privileged cube constrains, it intersects all of
+          them and their start points are absorbed in one OR;
+        * the forced-expansion chain is confluent, so *every* intermediate
+          cube along it is cached to the same fixpoint, not just the
+          endpoints.
+        """
+        perf = self.perf
+        perf.supercube_calls += 1
+        key = (r, outbits)
+        cache = self._supercube_cache
+        cached = cache.get(key, _MISSING)
+        if cached is not _MISSING:
+            perf.supercube_cache_hits += 1
+            return cached
         m01 = self._mask01
         if ~(r | (r >> 1)) & m01:
             raise ValueError("supercube_dhf of an empty cube collection")
-        key = (r, outbits)
-        cached = self._supercube_cache.get(key, _MISSING)
-        if cached is not _MISSING:
-            return cached
-        privs = self._privs_bits(outbits)
-        changed = True
-        while changed:
-            changed = False
-            for pin, sbits in privs:
-                meet = r & pin
-                if ~(meet | (meet >> 1)) & m01:
-                    continue  # no intersection with the privileged cube
-                if sbits & r == sbits:
-                    continue  # start point already contained: legal
-                r |= sbits
-                changed = True
+        env = self._outbits_env_cache.get(outbits)
+        if env is None:
+            env = self._build_env(outbits)
+            self._outbits_env_cache[outbits] = env
+        start_union, support_union, privs, offs, swar_p, swar_o = env
+        # Early infeasibility: the fixpoint only ever raises ``r``, so an
+        # OFF-set intersection of the seed can never be repaired by growth
+        # — skip the whole forced-expansion loop for such probes.
+        if swar_o is None:
+            for obits in offs:
+                meet = r & obits
+                if not (~(meet | (meet >> 1)) & m01):
+                    cache[key] = None
+                    return None
+        else:
+            off_cat, rep_o, low_o, hi_o, m01cat_o = swar_o
+            meet = r * rep_o & off_cat
+            t = ~(meet | (meet >> 1)) & m01cat_o
+            if hi_o & ~(t + low_o):
+                cache[key] = None
+                return None
+        chain = None
+        if swar_p is None:
+            # Few privileged cubes: the plain scan beats SWAR setup costs.
+            changed = True
+            while changed and start_union & r != start_union:
+                if support_union & ~(r & (r >> 1)) & m01 == 0:
+                    r |= start_union
+                    if chain is None:
+                        chain = []
+                    chain.append(r)
+                    break
+                changed = False
+                for pin, sbits in privs:
+                    if sbits & r == sbits:
+                        continue  # start point contained: legal
+                    meet = r & pin
+                    if ~(meet | (meet >> 1)) & m01:
+                        continue  # no intersection with the privileged cube
+                    r |= sbits
+                    if chain is None:
+                        chain = []
+                    chain.append(r)
+                    changed = True
+        else:
+            pin_cat, sb_cat, rep_p, low_p, hi_p, m01cat_p, total_p = swar_p
+            W = self._block_width
+            blk0 = (1 << (W - 1)) - 1
+            while start_union & r != start_union:
+                if support_union & ~(r & (r >> 1)) & m01 == 0:
+                    # r is DC on every constrained variable: it intersects
+                    # every privileged cube, so all start points are forced.
+                    r |= start_union
+                    if chain is None:
+                        chain = []
+                    chain.append(r)
+                    break
+                meet = r * rep_p & pin_cat
+                t = ~(meet | (meet >> 1)) & m01cat_p
+                flags = hi_p & ~(t + low_p)  # high bit per intersecting block
+                # Expand flags to block masks and pick those start points.
+                s = sb_cat & (flags - (flags >> (W - 1)))
+                sh = W
+                while sh < total_p:
+                    s |= s >> sh
+                    sh <<= 1
+                forced = s & blk0 & ~r
+                if forced == 0:
+                    break
+                r |= forced
+                if chain is None:
+                    chain = []
+                chain.append(r)
         result: Optional[int] = r
-        for obits in self._off_bits(outbits):
-            meet = r & obits
-            if not (~(meet | (meet >> 1)) & m01):
-                result = None
-                break
-        self._supercube_cache[key] = result
-        if result is not None and result != key[0]:
-            # The expansion chain is confluent: the grown cube maps to itself.
-            self._supercube_cache[(result, outbits)] = result
+        if chain:
+            # The cube grew, so the seed's clean OFF check must be redone.
+            if swar_o is None:
+                for obits in offs:
+                    meet = r & obits
+                    if not (~(meet | (meet >> 1)) & m01):
+                        result = None
+                        break
+            else:
+                meet = r * rep_o & off_cat
+                t = ~(meet | (meet >> 1)) & m01cat_o
+                if hi_o & ~(t + low_o):  # some OFF cube intersected
+                    result = None
+        cache[key] = result
+        if chain:
+            for c in chain:
+                chain_key = (c, outbits)
+                if chain_key not in cache:
+                    cache[chain_key] = result
+                    perf.supercube_chain_cached += 1
         return result
+
+    #: below these list sizes a plain Python scan beats the SWAR batch
+    #: (the scalar OFF check also early-exits, so its break-even is higher)
+    _SWAR_MIN_PRIV = 16
+    _SWAR_MIN_OFF = 16
+    def _build_env(self, outbits: int) -> tuple:
+        """Fixpoint environment for one output set (see supercube_dhf_bits).
+
+        ``(start_union, support_union, privs, offs, swar_p, swar_o)``.
+        Thousands of distinct output sets show up in one run, so the
+        per-output concatenations are cached and an output set's
+        environment is assembled with one shift-OR per *output* rather
+        than per cube.  The SWAR pieces are only materialized above a size
+        threshold; small lists keep ``None`` and use the scalar scan,
+        whose environment is just the cached flat lists and unions.
+        """
+        n_priv = n_off = 0
+        start_union = support_union = 0
+        unions = self._output_unions
+        j = 0
+        ob = outbits
+        while ob:
+            if ob & 1:
+                n_priv += len(self._priv_bits_by_output[j])
+                n_off += len(self._off_bits_by_output[j])
+                cached = unions.get(j)
+                if cached is None:
+                    m01 = self._mask01
+                    su = vu = 0
+                    for pin, sbits in self._priv_bits_by_output[j]:
+                        su |= sbits
+                        vu |= ~(pin & (pin >> 1)) & m01
+                    cached = (su, vu)
+                    unions[j] = cached
+                start_union |= cached[0]
+                support_union |= cached[1]
+            ob >>= 1
+            j += 1
+        swar_p = swar_o = None
+        if n_priv >= self._SWAR_MIN_PRIV:
+            swar_p = self._materialize_swar_priv(outbits)
+        if n_off >= self._SWAR_MIN_OFF:
+            swar_o = self._materialize_swar_off(outbits)
+        return (
+            start_union,
+            support_union,
+            None if swar_p is not None else self._privs_bits(outbits),
+            None if swar_o is not None else self._off_bits(outbits),
+            swar_p,
+            swar_o,
+        )
+
+    def _materialize_swar_priv(self, outbits: int) -> tuple:
+        """Concatenate the output set's privileged cubes for SWAR passes."""
+        W = self._block_width
+        pin_cat = sb_cat = 0
+        k = 0
+        for j in self._outputs(outbits):
+            pc, sc, kp, _oc, _ko = self._output_swar(j)
+            pin_cat |= pc << (W * k)
+            sb_cat |= sc << (W * k)
+            k += kp
+        rep_p = self._rep(k)
+        return (
+            pin_cat,
+            sb_cat,
+            rep_p,
+            rep_p * ((1 << (W - 1)) - 1),
+            rep_p << (W - 1),
+            rep_p * self._mask01,
+            W * k,
+        )
+
+    def _materialize_swar_off(self, outbits: int) -> tuple:
+        """Concatenate the output set's OFF cubes for the SWAR check."""
+        W = self._block_width
+        off_cat = 0
+        k = 0
+        for j in self._outputs(outbits):
+            _pc, _sc, _kp, oc, ko = self._output_swar(j)
+            off_cat |= oc << (W * k)
+            k += ko
+        rep_o = self._rep(k)
+        return (
+            off_cat,
+            rep_o,
+            rep_o * ((1 << (W - 1)) - 1),
+            rep_o << (W - 1),
+            rep_o * self._mask01,
+        )
+
+    def _rep(self, k: int) -> int:
+        """``k`` one-bits spaced a block apart (bit 0 of each block)."""
+        cached = self._rep_cache.get(k)
+        if cached is None:
+            W = self._block_width
+            cached = ((1 << (W * k)) - 1) // ((1 << W) - 1) if k else 0
+            self._rep_cache[k] = cached
+        return cached
+
+    def _output_swar(self, j: int) -> tuple:
+        """Per-output SWAR concatenations of privileged and OFF cubes."""
+        cached = self._output_swar_cache.get(j)
+        if cached is None:
+            W = self._block_width
+            pin_cat = sb_cat = 0
+            privs = self._priv_bits_by_output[j]
+            for i, (pin, sbits) in enumerate(privs):
+                pin_cat |= pin << (W * i)
+                sb_cat |= sbits << (W * i)
+            off_cat = 0
+            offs = self._off_bits_by_output[j]
+            for i, obits in enumerate(offs):
+                off_cat |= obits << (W * i)
+            cached = (pin_cat, sb_cat, len(privs), off_cat, len(offs))
+            self._output_swar_cache[j] = cached
+        return cached
 
     def is_dhf_implicant(self, cube: Cube, outbits: int) -> bool:
         """dhf-implicant test for an input cube over an output set."""
@@ -188,11 +425,14 @@ class HFContext:
         Theorem 4.1 the instance then has no hazard-free cover.
         """
         tagged: List[TaggedRequired] = []
+        n = self.n_inputs
         for q in self.instance.required_cubes():
-            sup = self.supercube_dhf([q.cube], 1 << q.output)
-            if sup is None:
+            sup_in = self.supercube_dhf_bits(q.cube.inbits, 1 << q.output)
+            if sup_in is None:
                 return None
-            tagged.append(TaggedRequired(sup, q.output, q.cube))
+            tagged.append(
+                TaggedRequired(Cube(n, sup_in, 1, 1), q.output, q.cube)
+            )
         return self._scc_minimize(tagged)
 
     @staticmethod
@@ -218,7 +458,11 @@ class HFContext:
     # ------------------------------------------------------------------
 
     def covers(self, cover_cube: Cube, req: TaggedRequired) -> bool:
-        """True iff a multi-output cover cube covers a tagged required cube."""
+        """True iff a multi-output cover cube covers a tagged required cube.
+
+        Scalar reference predicate; the operators use the bit-parallel
+        :meth:`covered_bits` instead.
+        """
         return cover_cube.has_output(req.output) and cover_cube.contains_input(
             req.canonical
         )
@@ -226,8 +470,19 @@ class HFContext:
     def covered_set(
         self, cover_cube: Cube, reqs: Sequence[TaggedRequired]
     ) -> List[TaggedRequired]:
-        """All tagged required cubes covered by ``cover_cube``."""
+        """All tagged required cubes covered by ``cover_cube`` (scalar path)."""
         return [q for q in reqs if self.covers(cover_cube, q)]
+
+    def covered_bits(self, inbits: int, outbits: int) -> int:
+        """Coverage bitmask over the registered required-cube universe.
+
+        Bit ``i`` is set iff universe required cube ``i`` is covered by a
+        cover cube with this input part and output set.  The universe is
+        populated by :meth:`CoverageIndex.register` — the operators register
+        the canonical required cubes they work on, so within one minimizer
+        run the mask is |Q_f|-wide.  Memoized per (inbits, output).
+        """
+        return self.coverage.covered_bits(inbits, outbits)
 
     def cube_for(self, req: TaggedRequired) -> Cube:
         """The multi-output cover cube representing one canonical required cube."""

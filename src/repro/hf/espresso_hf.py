@@ -41,6 +41,7 @@ from repro.hf.lastgasp import last_gasp
 from repro.hf.make_prime import make_cover_dhf_prime
 from repro.hf.reduce_ import reduce_cover
 from repro.hf.result import HFResult
+from repro.perf import PerfCounters
 
 
 class NoSolutionError(RuntimeError):
@@ -94,6 +95,7 @@ def espresso_hf(
             num_canonical_required=0,
             runtime_s=time.perf_counter() - t_start,
             phase_seconds=phases,
+            counters=ctx.perf,
         )
 
     t0 = time.perf_counter()
@@ -174,6 +176,7 @@ def espresso_hf(
         iterations=iterations,
         runtime_s=time.perf_counter() - t_start,
         phase_seconds=phases,
+        counters=ctx.perf,
     )
 
 
@@ -195,12 +198,17 @@ def espresso_hf_per_output(
     num_required = 0
     num_canonical = 0
     iterations = 0
+    phases: dict = {}
+    counters = PerfCounters()
     for j in range(instance.n_outputs):
         sub = instance.restrict_to_output(j)
         result = espresso_hf(sub, options)
         num_required += result.num_required
         num_canonical += result.num_canonical_required
         iterations += result.iterations
+        for phase, seconds in result.phase_seconds.items():
+            phases[phase] = phases.get(phase, 0.0) + seconds
+        counters.merge(result.counters)
         essentials.extend(
             Cube(instance.n_inputs, e.inbits, 1 << j, instance.n_outputs)
             for e in result.essentials
@@ -217,5 +225,6 @@ def espresso_hf_per_output(
         num_canonical_required=num_canonical,
         iterations=iterations,
         runtime_s=time.perf_counter() - t_start,
-        phase_seconds={},
+        phase_seconds=phases,
+        counters=counters,
     )

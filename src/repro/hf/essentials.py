@@ -8,6 +8,14 @@ cube outside the class (``supercube_dhf`` of the pair is undefined), that
 cube is *distinguished* and the expanded implicant is an essential
 equivalence class.  Removing its required cubes can expose secondary
 essentials, so the process iterates to a fixpoint.
+
+The fixpoint runs on the coverage-bitset universe.  The remaining set is a
+selection mask, and the distinguished test uses a lazily-built *escape row*
+per required cube: bit ``s`` of ``esc[q]`` is set iff ``supercube_dhf({q,
+s})`` is defined, i.e. ``q`` could be covered together with ``s``.  A
+covered cube ``q`` is then distinguished exactly when ``esc[q] & outside ==
+0`` — one AND per cube instead of a pairwise rescan on every pass (the rows
+depend only on the instance, never on the shrinking remaining set).
 """
 
 from __future__ import annotations
@@ -15,8 +23,8 @@ from __future__ import annotations
 from typing import List, Sequence, Tuple
 
 from repro.cubes.cube import Cube
-from repro.hf.context import HFContext, TaggedRequired
-from repro.hf.expand import expand_toward_required
+from repro.hf.context import _MISSING, HFContext, TaggedRequired
+from repro.hf.expand import expand_toward_required, required_candidates
 
 
 def compute_essentials(
@@ -28,44 +36,106 @@ def compute_essentials(
     representative cube of each essential class, and the required cubes
     still to be covered by the main loop.
     """
-    remaining: List[TaggedRequired] = list(reqs)
-    essentials: List[Cube] = []
-    progress = True
-    while progress:
-        progress = False
-        for seed in list(remaining):
-            if seed not in remaining:
-                continue
-            p = expand_toward_required(ctx.cube_for(seed), remaining, ctx)
-            covered = ctx.covered_set(p, remaining)
-            if _has_distinguished(ctx, covered, remaining):
-                essentials.append(p)
-                covered_keys = {q.key() for q in covered}
-                remaining = [q for q in remaining if q.key() not in covered_keys]
-                progress = True
-    return essentials, remaining
-
-
-def _has_distinguished(
-    ctx: HFContext,
-    covered: Sequence[TaggedRequired],
-    remaining: Sequence[TaggedRequired],
-) -> bool:
-    """True iff some covered required cube can escape to no other class.
-
-    ``q`` is distinguished when for every required cube ``s`` outside the
-    class, ``supercube_dhf({q, s})`` is undefined — no dhf-implicant covers
-    both, so any dhf-prime covering ``q`` is confined to this class.
-    """
-    covered_keys = {q.key() for q in covered}
-    outside = [s for s in remaining if s.key() not in covered_keys]
-    for q in covered:
-        escapes = False
-        for s in outside:
-            outbits = (1 << q.output) | (1 << s.output)
-            if ctx.supercube_dhf([q.canonical, s.canonical], outbits) is not None:
-                escapes = True
-                break
-        if not escapes:
-            return True
-    return False
+    with ctx.perf.op_timer("essentials"):
+        cov = ctx.coverage
+        cov.register(reqs)
+        positions = cov.positions(reqs)
+        req_at = {pos: q for pos, q in zip(positions, reqs)}
+        pair_at = {
+            pos: (q.canonical.inbits, 1 << q.output)
+            for pos, q in zip(positions, reqs)
+        }
+        # Universe positions per output bit: same-output partners are
+        # probed first below (their pair shares one OFF set, so escapes
+        # are found cheaply and cross-output fixpoint environments are
+        # often never built at all).
+        out_pos = {}
+        for pos, q in zip(positions, reqs):
+            ob = 1 << q.output
+            out_pos[ob] = out_pos.get(ob, 0) | (1 << pos)
+        sel = cov.selection_mask(reqs)
+        candidates = required_candidates(reqs, ctx)
+        essentials: List[Cube] = []
+        # A seed's greedy expansion depends only on (seed, remaining set),
+        # identified by (universe position, selection mask).  The memo makes
+        # the fixpoint's final no-progress pass (which re-expands every
+        # seed) free.
+        expand_memo = {}
+        esc_known = {}  # universe pos -> partner bits already probed
+        esc_pair = {}  # universe pos -> probed partners with a defined pair
+        scache = ctx._supercube_cache
+        supercube = ctx.supercube_dhf_bits
+        perf = ctx.perf
+        progress = True
+        while progress:
+            progress = False
+            snapshot = sel
+            m = snapshot
+            while m:
+                low = m & -m
+                m ^= low
+                if not (sel & low):
+                    continue  # covered by an essential earlier this pass
+                pos = low.bit_length() - 1
+                memo_key = (pos, sel)
+                p = expand_memo.get(memo_key)
+                if p is None:
+                    p = expand_toward_required(
+                        ctx.cube_for(req_at[pos]), reqs, ctx, sel, candidates
+                    )
+                    expand_memo[memo_key] = p
+                covered_mask = cov.covered_bits(p.inbits, p.outbits) & sel
+                outside = sel & ~covered_mask
+                distinguished = False
+                cm = covered_mask
+                while cm:
+                    lowc = cm & -cm
+                    cm ^= lowc
+                    posc = lowc.bit_length() - 1
+                    pairable = esc_pair.get(posc, 0)
+                    if pairable & outside:
+                        continue  # q escapes via an already-known partner
+                    # Probe the not-yet-probed partners in the outside set,
+                    # stopping at the first escape; verdicts accumulate
+                    # across passes (they depend only on the instance).
+                    known = esc_known.get(posc, 0)
+                    unknown = outside & ~known
+                    escaped = False
+                    if unknown:
+                        q = req_at[posc]
+                        q_in = q.canonical.inbits
+                        q_ob = 1 << q.output
+                        sc_hits = 0
+                        same = unknown & out_pos.get(q_ob, 0)
+                        for group in (same, unknown ^ same):
+                            while group:
+                                lows = group & -group
+                                group ^= lows
+                                s_in, s_ob = pair_at[lows.bit_length() - 1]
+                                r_bits = q_in | s_in
+                                outbits = q_ob | s_ob
+                                sup = scache.get((r_bits, outbits), _MISSING)
+                                if sup is _MISSING:
+                                    sup = supercube(r_bits, outbits)
+                                else:
+                                    sc_hits += 1
+                                known |= lows
+                                if sup is not None:
+                                    pairable |= lows
+                                    escaped = True
+                                    break
+                            if escaped:
+                                break
+                        perf.supercube_calls += sc_hits
+                        perf.supercube_cache_hits += sc_hits
+                        esc_known[posc] = known
+                        esc_pair[posc] = pairable
+                    if not escaped:
+                        distinguished = True
+                        break
+                if distinguished:
+                    essentials.append(p)
+                    sel = outside
+                    progress = True
+        remaining = cov.covered_subset(sel, reqs)
+        return essentials, remaining

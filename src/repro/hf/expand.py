@@ -1,4 +1,4 @@
-"""Hazard-free EXPAND (paper §3.3, Figure 7).
+"""Hazard-free EXPAND (paper §3.3, Figure 7) on the coverage-bitset engine.
 
 Expansion differs from Espresso-II in two ways.  First, raising an entry may
 *force* other entries to be raised: growing a cube across a privileged cube
@@ -19,14 +19,25 @@ the same local configuration are O(1) dictionary hits.  Filters (1)-(3) of
 the paper (dropping privileged cubes whose start point is already covered,
 or that can never be legally reached) are exactly the cases the memoized
 chain resolves without growth, so they are not duplicated here.
+
+The gain functions are bit-parallel.  Phase 1 ranks candidates by how many
+other cover cubes they absorb: the cover is transposed once into per-bit
+masks over cube slots, so a candidate's absorbed set is an AND/OR chain
+over its *missing* bits plus one popcount — O(|F|) big-int words per
+candidate instead of an O(|F|) Python scan with per-pair method calls.
+Phase 2 ranks candidates by newly covered required cubes:
+``covered_bits(candidate) & uncovered`` replaces the per-pair
+``ctx.covers`` scan.  Both phases preserve the scalar tie-breaking exactly
+(first strictly-better candidate in scan order wins).
 """
 
 from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from repro.cubes.cube import Cube
-from repro.hf.context import HFContext, TaggedRequired
+from repro.cubes.cube import Cube, full_input_mask
+from repro.hf.context import _MISSING, HFContext, TaggedRequired
+from repro._compat import popcount
 
 
 def expand_cover(
@@ -39,16 +50,51 @@ def expand_cover(
     list is never larger than the input and always covers at least the same
     required cubes.
     """
-    slots: List[Optional[Cube]] = list(cubes)
-    order = sorted(
-        range(len(slots)),
-        key=lambda i: (slots[i].num_dc(), slots[i].inbits, slots[i].outbits),
-    )
-    for idx in order:
-        if slots[idx] is None:
+    with ctx.perf.op_timer("expand"):
+        cov = ctx.coverage
+        cov.register(reqs)
+        sel = cov.selection_mask(reqs)
+        candidates = required_candidates(reqs, ctx)
+        slots: List[Optional[Cube]] = list(cubes)
+        order = sorted(
+            range(len(slots)),
+            key=lambda i: (slots[i].num_dc(), slots[i].inbits, slots[i].outbits),
+        )
+        for idx in order:
+            if slots[idx] is None:
+                continue
+            slots[idx] = expand_one(
+                slots[idx], idx, slots, reqs, ctx, sel, candidates
+            )
+        return [c for c in slots if c is not None]
+
+
+def _transpose_slots(slots: Sequence[Optional[Cube]], ctx: HFContext):
+    """Per-bit slot masks: which live slots have input/output bit ``b`` set.
+
+    With these, "slots NOT contained in a candidate" is the OR of the masks
+    of the candidate's missing bits — the containment test for all |F|
+    cubes at once.
+    """
+    in_by_bit = [0] * (2 * ctx.n_inputs)
+    out_by_bit = [0] * ctx.n_outputs
+    alive = 0
+    for k, d in enumerate(slots):
+        if d is None:
             continue
-        slots[idx] = expand_one(slots[idx], idx, slots, reqs, ctx)
-    return [c for c in slots if c is not None]
+        bit = 1 << k
+        alive |= bit
+        b = d.inbits
+        while b:
+            low = b & -b
+            in_by_bit[low.bit_length() - 1] |= bit
+            b ^= low
+        ob = d.outbits
+        while ob:
+            low = ob & -ob
+            out_by_bit[low.bit_length() - 1] |= bit
+            ob ^= low
+    return alive, in_by_bit, out_by_bit
 
 
 def expand_one(
@@ -57,59 +103,145 @@ def expand_one(
     slots: List[Optional[Cube]],
     reqs: Sequence[TaggedRequired],
     ctx: HFContext,
+    sel: Optional[int] = None,
+    candidates: Optional[dict] = None,
 ) -> Cube:
     """Expand a single cube: absorb cover cubes first, then required cubes."""
+    perf = ctx.perf
+    full_in = full_input_mask(ctx.n_inputs)
+    full_out = (1 << ctx.n_outputs) - 1
+    alive, in_by_bit, out_by_bit = _transpose_slots(slots, ctx)
+    others = alive & ~(1 << idx)
+
+    def contained_mask(cand_in: int, cand_out: int) -> int:
+        """Live slots (except ``idx``) wholly contained in the candidate."""
+        m = others
+        missing = full_in & ~cand_in
+        while m and missing:
+            low = missing & -missing
+            m &= ~in_by_bit[low.bit_length() - 1]
+            missing ^= low
+        missing = full_out & ~cand_out
+        while m and missing:
+            low = missing & -missing
+            m &= ~out_by_bit[low.bit_length() - 1]
+            missing ^= low
+        return m
+
+    scache = ctx._supercube_cache
+    supercube = ctx.supercube_dhf_bits
+    probes = sc_hits = 0
     # Phase 1: dhf-feasibly covered cubes of F (primary goal).
     while True:
-        best = None
+        best: Optional[Cube] = None
         best_gain = 0
+        best_mask = 0
         for j, other in enumerate(slots):
             if other is None or j == idx or cube.contains(other):
                 continue
-            sup_in = ctx.supercube_dhf([cube, other], cube.outbits | other.outbits)
+            outbits = cube.outbits | other.outbits
+            probes += 1
+            r_bits = cube.inbits | other.inbits
+            sup_in = scache.get((r_bits, outbits), _MISSING)
+            if sup_in is _MISSING:
+                sup_in = supercube(r_bits, outbits)
+            else:
+                sc_hits += 1
             if sup_in is None:
                 continue
-            candidate = Cube(
-                ctx.n_inputs, sup_in.inbits, cube.outbits | other.outbits, ctx.n_outputs
-            )
-            gain = sum(
-                1
-                for k, d in enumerate(slots)
-                if d is not None and k != idx and candidate.contains(d)
-            )
+            absorbed = contained_mask(sup_in, outbits)
+            gain = popcount(absorbed)
             if gain > best_gain:
-                best_gain, best = gain, candidate
+                best_gain = gain
+                best = Cube(ctx.n_inputs, sup_in, outbits, ctx.n_outputs)
+                best_mask = absorbed
         if best is None:
             break
         cube = best
-        for k in range(len(slots)):
-            if k != idx and slots[k] is not None and cube.contains(slots[k]):
-                slots[k] = None
+        m = best_mask
+        while m:
+            low = m & -m
+            slots[low.bit_length() - 1] = None
+            m ^= low
+        alive &= ~best_mask
+        others &= ~best_mask
+    perf.expand_probes += probes
+    perf.supercube_calls += sc_hits
+    perf.supercube_cache_hits += sc_hits
     # Phase 2: dhf-feasibly covered required cubes (secondary goal).
-    cube = expand_toward_required(cube, reqs, ctx)
+    cube = expand_toward_required(cube, reqs, ctx, sel, candidates)
     return cube
 
 
+def required_candidates(
+    reqs: Sequence[TaggedRequired], ctx: HFContext
+) -> dict:
+    """Universe position -> ``(input bits, output bit)`` for each required.
+
+    Callers that expand many seeds against the same required set build
+    this once and pass it to :func:`expand_toward_required`.
+    """
+    return {
+        pos: (q.canonical.inbits, 1 << q.output)
+        for pos, q in zip(ctx.coverage.positions(reqs), reqs)
+    }
+
+
 def expand_toward_required(
-    cube: Cube, reqs: Sequence[TaggedRequired], ctx: HFContext
+    cube: Cube,
+    reqs: Sequence[TaggedRequired],
+    ctx: HFContext,
+    sel: Optional[int] = None,
+    candidates: Optional[dict] = None,
 ) -> Cube:
     """Greedily absorb required cubes while any absorption is dhf-feasible."""
+    cov = ctx.coverage
+    if sel is None:
+        sel = cov.selection_mask(reqs)
+    if not sel:
+        return cube
+    perf = ctx.perf
+    covered_bits = cov.covered_bits
+    scache = ctx._supercube_cache
+    supercube = ctx.supercube_dhf_bits
+    probes = sc_hits = 0
+    if candidates is None:
+        candidates = required_candidates(reqs, ctx)
+    cin, cout = cube.inbits, cube.outbits
+    # Scanning set bits of ``uncovered`` visits candidates in ascending
+    # universe position — the same order as the required list (positions
+    # are assigned in registration order), so tie-breaking is unchanged.
     while True:
-        uncovered = [q for q in reqs if not ctx.covers(cube, q)]
+        uncovered = sel & ~covered_bits(cin, cout)
         if not uncovered:
             break
         best = None
         best_gain = 0
-        for q in uncovered:
-            outbits = cube.outbits | (1 << q.output)
-            sup_in = ctx.supercube_dhf([cube, q.canonical], outbits)
+        m = uncovered
+        while m:
+            low = m & -m
+            m ^= low
+            q_in, q_out = candidates[low.bit_length() - 1]
+            outbits = cout | q_out
+            probes += 1
+            r_bits = cin | q_in
+            sup_in = scache.get((r_bits, outbits), _MISSING)
+            if sup_in is _MISSING:
+                sup_in = supercube(r_bits, outbits)
+            else:
+                sc_hits += 1
             if sup_in is None:
                 continue
-            candidate = Cube(ctx.n_inputs, sup_in.inbits, outbits, ctx.n_outputs)
-            gain = sum(1 for s in uncovered if ctx.covers(candidate, s))
+            gain = popcount(covered_bits(sup_in, outbits) & uncovered)
             if gain > best_gain:
-                best_gain, best = gain, candidate
+                best_gain = gain
+                best = (sup_in, outbits)
         if best is None:
             break
-        cube = best
-    return cube
+        cin, cout = best
+    perf.expand_probes += probes
+    perf.supercube_calls += sc_hits
+    perf.supercube_cache_hits += sc_hits
+    if cin == cube.inbits and cout == cube.outbits:
+        return cube
+    return Cube(ctx.n_inputs, cin, cout, ctx.n_outputs)

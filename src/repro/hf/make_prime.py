@@ -13,34 +13,54 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.cubes.cube import Cube, LITERAL_DC
-from repro.hf.context import HFContext
+from repro.cubes.cube import Cube
+from repro.hf.context import _MISSING, HFContext
 
 
 def make_dhf_prime(cube: Cube, ctx: HFContext) -> Cube:
-    """Expand one cube into a dhf-prime (input part; outputs unchanged)."""
+    """Expand one cube into a dhf-prime (input part; outputs unchanged).
+
+    Works on raw input bits: raising variable ``i`` to don't-care is
+    ``inbits | (0b11 << 2i)``, probed directly through the memoized
+    ``supercube_dhf_bits`` — no intermediate Cube objects on this loop.
+    """
+    inbits = cube.inbits
+    outbits = cube.outbits
+    supercube = ctx.supercube_dhf_bits
+    scache = ctx._supercube_cache
+    sc_hits = 0
     changed = True
     while changed:
         changed = False
         for i in range(ctx.n_inputs):
-            if cube.literal(i) == LITERAL_DC:
-                continue
-            raised = cube.with_literal(i, LITERAL_DC)
-            sup_in = ctx.supercube_dhf([raised], cube.outbits)
+            pair = 0b11 << (2 * i)
+            if inbits & pair == pair:
+                continue  # already don't-care
+            raised = inbits | pair
+            sup_in = scache.get((raised, outbits), _MISSING)
+            if sup_in is _MISSING:
+                sup_in = supercube(raised, outbits)
+            else:
+                sc_hits += 1
             if sup_in is not None:
-                cube = Cube(ctx.n_inputs, sup_in.inbits, cube.outbits, ctx.n_outputs)
+                inbits = sup_in
                 changed = True
-    return cube
+    ctx.perf.supercube_calls += sc_hits
+    ctx.perf.supercube_cache_hits += sc_hits
+    if inbits == cube.inbits:
+        return cube
+    return Cube(ctx.n_inputs, inbits, outbits, ctx.n_outputs)
 
 
 def make_cover_dhf_prime(cubes: List[Cube], ctx: HFContext) -> List[Cube]:
     """Apply :func:`make_dhf_prime` to a whole cover, deduplicating."""
-    seen = set()
-    out: List[Cube] = []
-    for c in cubes:
-        p = make_dhf_prime(c, ctx)
-        key = (p.inbits, p.outbits)
-        if key not in seen:
-            seen.add(key)
-            out.append(p)
-    return out
+    with ctx.perf.op_timer("make_prime"):
+        seen = set()
+        out: List[Cube] = []
+        for c in cubes:
+            p = make_dhf_prime(c, ctx)
+            key = (p.inbits, p.outbits)
+            if key not in seen:
+                seen.add(key)
+                out.append(p)
+        return out

@@ -7,6 +7,7 @@ from typing import Dict, List
 
 from repro.cubes.cube import Cube
 from repro.cubes.cover import Cover
+from repro.perf import PerfCounters
 
 
 @dataclass
@@ -29,6 +30,11 @@ class HFResult:
     phase_seconds:
         Wall-clock breakdown per phase (canonicalize / essentials / loop /
         make_prime).
+    counters:
+        Operator-level performance counters collected by the run's
+        :class:`~repro.hf.context.HFContext` — supercube memo hit rates,
+        expansion probes, MINCOV problem sizes, and per-operator wall time
+        (see :class:`repro.perf.PerfCounters`).
     """
 
     cover: Cover
@@ -38,6 +44,7 @@ class HFResult:
     iterations: int = 0
     runtime_s: float = 0.0
     phase_seconds: Dict[str, float] = field(default_factory=dict)
+    counters: PerfCounters = field(default_factory=PerfCounters)
 
     @property
     def num_cubes(self) -> int:

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro._compat import popcount
+
 
 class CoveringMatrix:
     """A unate covering problem: choose columns so every row has a chosen column.
@@ -131,7 +133,7 @@ class CoveringMatrix:
     def _row_dominance(self) -> bool:
         """Delete rows whose column set is a superset of another row's."""
         changed = False
-        items = sorted(self.row_masks.items(), key=lambda kv: kv[1].bit_count())
+        items = sorted(self.row_masks.items(), key=lambda kv: popcount(kv[1]))
         active = self._active_col_mask()
         for idx, (i, mask_i) in enumerate(items):
             if i not in self.row_masks:
@@ -153,7 +155,7 @@ class CoveringMatrix:
     def _column_dominance(self) -> bool:
         """Delete columns dominated by a cheaper-or-equal column covering more."""
         changed = False
-        cols = sorted(self.col_masks.items(), key=lambda kv: -kv[1].bit_count())
+        cols = sorted(self.col_masks.items(), key=lambda kv: -popcount(kv[1]))
         for idx, (j, rows_j) in enumerate(cols):
             if j not in self.col_masks:
                 continue
@@ -189,7 +191,7 @@ class CoveringMatrix:
         chosen: List[int] = []
         used_cols = 0
         bound = 0
-        for i, mask in sorted(self.row_masks.items(), key=lambda kv: kv[1].bit_count()):
+        for i, mask in sorted(self.row_masks.items(), key=lambda kv: popcount(kv[1])):
             live = mask & self._active_col_mask()
             if live & used_cols:
                 continue
@@ -207,7 +209,7 @@ class CoveringMatrix:
         best_count = None
         active = self._active_col_mask()
         for i, mask in self.row_masks.items():
-            count = (mask & active).bit_count()
+            count = popcount(mask & active)
             if best_count is None or count < best_count:
                 best, best_count = i, count
         return best
@@ -221,7 +223,7 @@ class CoveringMatrix:
         best = None
         best_key = None
         for j, rows_j in self.col_masks.items():
-            covered = rows_j.bit_count()
+            covered = popcount(rows_j)
             if covered == 0:
                 continue
             key = (covered / self.weights[j], covered, -j)

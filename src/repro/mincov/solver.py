@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Set
+from typing import Dict, Iterable, Optional, Sequence, Set
 
 from repro.mincov.matrix import CoveringMatrix
+from repro._compat import popcount
 
 
 class CoveringExplosionError(RuntimeError):
@@ -21,6 +22,7 @@ def solve_mincov(
     weights: Optional[Sequence[int]] = None,
     heuristic: bool = False,
     node_limit: Optional[int] = None,
+    stats: Optional[Dict[str, int]] = None,
 ) -> Optional[Set[int]]:
     """Solve the unate covering problem.
 
@@ -28,13 +30,21 @@ def solve_mincov(
     selected column indices of minimum total weight (exact mode) or a good
     small cover (heuristic mode), or ``None`` when some row is uncoverable.
     ``node_limit`` bounds branch-and-bound nodes; exceeding it raises
-    :class:`CoveringExplosionError`.
+    :class:`CoveringExplosionError`.  When ``stats`` is given, the number of
+    branch-and-bound nodes explored is written to ``stats["nodes"]`` (0 in
+    heuristic mode).
     """
     matrix = CoveringMatrix(rows, n_cols, weights)
     if heuristic:
+        if stats is not None:
+            stats["nodes"] = 0
         return _solve_greedy(matrix)
     solver = _BranchAndBound(matrix, node_limit)
-    return solver.solve()
+    try:
+        return solver.solve()
+    finally:
+        if stats is not None:
+            stats["nodes"] = solver.nodes
 
 
 def _solve_greedy(matrix: CoveringMatrix) -> Optional[Set[int]]:
@@ -102,7 +112,7 @@ class _BranchAndBound:
             return
         columns = sorted(
             matrix.row_columns(row),
-            key=lambda j: (-matrix.col_masks[j].bit_count(), self.weights[j], j),
+            key=lambda j: (-popcount(matrix.col_masks[j]), self.weights[j], j),
         )
         if not columns:
             return

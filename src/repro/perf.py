@@ -1,0 +1,136 @@
+"""Operator-level performance counters for one minimizer run.
+
+Every :class:`repro.hf.context.HFContext` owns a :class:`PerfCounters`
+instance; the hot-path primitives (``supercube_dhf_bits``, the coverage
+bitmask cache, the MINCOV solver) bump counters as they run, and the
+operator entry points record wall time under their own name.  The final
+snapshot travels on :class:`repro.hf.result.HFResult` and into the
+benchmark JSON (``scripts/bench_hf.py``), so performance regressions show
+up as numbers, not vibes.
+
+All counters are plain integers updated inline — the bookkeeping must cost
+(almost) nothing on the path it measures.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+
+@dataclass
+class PerfCounters:
+    """Counters and wall-time breakdown for one Espresso-HF run.
+
+    Attributes
+    ----------
+    supercube_calls / supercube_cache_hits:
+        ``supercube_dhf_bits`` invocations and how many were answered from
+        the memo table.  The hit rate is the paper's §3.3.1 acceleration
+        story in one number.
+    supercube_chain_cached:
+        Intermediate cubes of forced-expansion chains written to the memo
+        table (every cube along a chain maps to the same fixpoint).
+    expand_probes:
+        Candidate feasibility probes issued by EXPAND (phase 1 and the
+        required-cube phase).
+    coverage_masks_built / coverage_mask_hits:
+        Coverage-bitset rows computed from scratch vs. served memoized.
+    mincov_problems / mincov_rows / mincov_nodes:
+        Covering problems solved by IRREDUNDANT/LAST_GASP, their total row
+        count, and branch-and-bound nodes explored.
+    op_seconds:
+        Wall-clock seconds per operator (``expand``, ``reduce``,
+        ``irredundant``, ``last_gasp``, ``essentials``, ``make_prime``).
+        Nested operators double-count on purpose: ``last_gasp`` includes
+        the IRREDUNDANT call it issues.
+    """
+
+    supercube_calls: int = 0
+    supercube_cache_hits: int = 0
+    supercube_chain_cached: int = 0
+    expand_probes: int = 0
+    coverage_masks_built: int = 0
+    coverage_mask_hits: int = 0
+    mincov_problems: int = 0
+    mincov_rows: int = 0
+    mincov_nodes: int = 0
+    op_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def supercube_hit_rate(self) -> float:
+        """Fraction of ``supercube_dhf_bits`` calls served from the memo."""
+        if not self.supercube_calls:
+            return 0.0
+        return self.supercube_cache_hits / self.supercube_calls
+
+    @property
+    def coverage_hit_rate(self) -> float:
+        """Fraction of coverage-mask lookups served from the memo."""
+        total = self.coverage_masks_built + self.coverage_mask_hits
+        return self.coverage_mask_hits / total if total else 0.0
+
+    @contextmanager
+    def op_timer(self, name: str) -> Iterator[None]:
+        """Accumulate wall time of the enclosed block under ``name``."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.op_seconds[name] = (
+                self.op_seconds.get(name, 0.0) + time.perf_counter() - t0
+            )
+
+    def merge(self, other: "PerfCounters") -> None:
+        """Fold another run's counters into this one (per-output mode)."""
+        self.supercube_calls += other.supercube_calls
+        self.supercube_cache_hits += other.supercube_cache_hits
+        self.supercube_chain_cached += other.supercube_chain_cached
+        self.expand_probes += other.expand_probes
+        self.coverage_masks_built += other.coverage_masks_built
+        self.coverage_mask_hits += other.coverage_mask_hits
+        self.mincov_problems += other.mincov_problems
+        self.mincov_rows += other.mincov_rows
+        self.mincov_nodes += other.mincov_nodes
+        for name, seconds in other.op_seconds.items():
+            self.op_seconds[name] = self.op_seconds.get(name, 0.0) + seconds
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot (used by ``scripts/bench_hf.py``)."""
+        return {
+            "supercube_calls": self.supercube_calls,
+            "supercube_cache_hits": self.supercube_cache_hits,
+            "supercube_hit_rate": round(self.supercube_hit_rate, 4),
+            "supercube_chain_cached": self.supercube_chain_cached,
+            "expand_probes": self.expand_probes,
+            "coverage_masks_built": self.coverage_masks_built,
+            "coverage_mask_hits": self.coverage_mask_hits,
+            "coverage_hit_rate": round(self.coverage_hit_rate, 4),
+            "mincov_problems": self.mincov_problems,
+            "mincov_rows": self.mincov_rows,
+            "mincov_nodes": self.mincov_nodes,
+            "op_seconds": {k: round(v, 6) for k, v in self.op_seconds.items()},
+        }
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable counter report (``report.py`` / CLI ``--stats``)."""
+        lines = [
+            f"supercube_dhf: {self.supercube_calls} calls, "
+            f"{100.0 * self.supercube_hit_rate:.1f}% cache hits "
+            f"({self.supercube_chain_cached} chain entries cached)",
+            f"coverage masks: {self.coverage_masks_built} built, "
+            f"{self.coverage_mask_hits} hits "
+            f"({100.0 * self.coverage_hit_rate:.1f}% hit rate)",
+            f"expand probes: {self.expand_probes}",
+            f"mincov: {self.mincov_problems} problems, "
+            f"{self.mincov_rows} rows, {self.mincov_nodes} nodes",
+        ]
+        if self.op_seconds:
+            ops = ", ".join(
+                f"{name}: {seconds:.3f}s"
+                for name, seconds in sorted(self.op_seconds.items())
+            )
+            lines.append(f"operator time: {ops}")
+        return lines

@@ -13,6 +13,8 @@ from typing import Dict, List, Optional
 
 from repro.cubes.cover import Cover
 from repro.hazards.instance import HazardFreeInstance
+from repro.perf import PerfCounters
+from repro._compat import popcount
 
 
 @dataclass
@@ -93,7 +95,7 @@ def cover_stats(cover: Cover) -> CoverStats:
         n_literals=cover.num_literals(),
         n_inputs=cover.n_inputs,
         n_outputs=cover.n_outputs,
-        output_connections=sum(c.outbits.bit_count() for c in cover),
+        output_connections=sum(popcount(c.outbits) for c in cover),
     )
 
 
@@ -101,8 +103,14 @@ def minimization_report(
     instance: HazardFreeInstance,
     cover: Cover,
     baseline: Optional[Cover] = None,
+    counters: Optional[PerfCounters] = None,
 ) -> str:
-    """Human-readable before/after report for one minimization run."""
+    """Human-readable before/after report for one minimization run.
+
+    With ``counters`` (an :class:`HFResult`'s ``counters`` attribute) the
+    report ends with the performance-engine section: supercube memo hit
+    rate, coverage-mask hit rate, probe counts, and per-operator wall time.
+    """
     lines: List[str] = []
     lines.extend(instance_stats(instance).lines())
     lines.extend(cover_stats(cover).lines())
@@ -113,4 +121,7 @@ def minimization_report(
             f"  vs baseline: {base.n_cubes} -> {ours.n_cubes} products, "
             f"area {base.pla_area} -> {ours.pla_area}"
         )
+    if counters is not None:
+        lines.append("performance counters:")
+        lines.extend(f"  {line}" for line in counters.summary_lines())
     return "\n".join(lines)

@@ -6,6 +6,8 @@ from repro.bench.figure1 import figure1_experiment, figure1_instance, minimum_pl
 from repro.bench.figure8 import (
     run_figure8,
     format_figure8,
+    rows_to_json,
+    main as figure8_main,
     Figure8Row,
     DEFAULT_EXACT_BUDGET,
 )
@@ -96,3 +98,49 @@ class TestFigure8Harness:
     def test_default_budget_is_bounded(self):
         assert DEFAULT_EXACT_BUDGET.time_limit_s is not None
         assert DEFAULT_EXACT_BUDGET.prime_limit is not None
+
+    def test_rows_to_json_roundtrip(self, rows):
+        import json
+        from dataclasses import fields
+
+        decoded = json.loads(rows_to_json(rows))
+        assert [d["name"] for d in decoded] == [r.name for r in rows]
+        expected_keys = {f.name for f in fields(Figure8Row)}
+        for d, r in zip(decoded, rows):
+            assert set(d) == expected_keys
+            assert d["hf_num_cubes"] == r.hf_num_cubes
+            assert d["hf_verified"] is r.hf_verified
+            assert d["exact_failure_stage"] == r.exact_failure_stage
+
+    def test_rows_to_json_encodes_failures_as_null(self):
+        import json
+
+        row = Figure8Row(
+            name="x",
+            n_inputs=4,
+            n_outputs=2,
+            exact_num_dhf_primes=None,
+            exact_num_cubes=None,
+            exact_time_s=None,
+            exact_failure_stage="primes",
+            hf_num_essential=1,
+            hf_num_cubes=2,
+            hf_time_s=0.1,
+            hf_verified=True,
+        )
+        decoded = json.loads(rows_to_json([row]))
+        assert decoded[0]["exact_num_cubes"] is None
+        assert decoded[0]["exact_failure_stage"] == "primes"
+
+    def test_main_json_flag_writes_file(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "figure8.json"
+        figure8_main(["--json", str(path), "pscsi-ircv"])
+        out = capsys.readouterr().out
+        assert f"wrote {path}" in out
+        assert "pscsi-ircv" in out
+        decoded = json.loads(path.read_text())
+        assert len(decoded) == 1
+        assert decoded[0]["name"] == "pscsi-ircv"
+        assert decoded[0]["hf_verified"] is True

@@ -72,11 +72,17 @@ class TestCoverExtras:
         with pytest.raises(ValueError):
             Cover.from_strings([])
 
-    def test_hashable(self):
+    def test_unhashable_but_keyable(self):
         a = Cover.from_strings(["1-", "-1"])
         b = Cover.from_strings(["-1", "1-"])
-        assert hash(a) == hash(b)
-        assert len({a, b}) == 1
+        # Covers are mutable containers: hashing is disabled outright.
+        with pytest.raises(TypeError):
+            hash(a)
+        # key() gives an explicit order-insensitive content snapshot.
+        assert a.key() == b.key()
+        assert len({a.key(), b.key()}) == 1
+        b.append(Cube.from_string("--"))
+        assert a.key() != b.key()
 
 
 class TestHFResultSurface:
