@@ -1,11 +1,13 @@
 #!/usr/bin/env python
 """Persistent Espresso-HF benchmark baseline.
 
-Runs the minimizer over the benchmark suite and writes a JSON snapshot —
-per-circuit wall time (best of ``--repeats``), cover size, and the
-operator-level performance counters — to ``BENCH_espresso_hf.json`` at the
-repository root.  Committing the snapshot gives every future change a
-baseline to diff against: cover-size changes are correctness regressions,
+Runs the minimizer over the benchmark suite — each circuit isolated in its
+own subprocess via :mod:`repro.guard.runner`, so one pathological circuit
+can time out or crash without taking down the sweep — and writes a JSON
+snapshot (per-circuit status, wall time best of ``--repeats``, cover size,
+and the operator-level performance counters) to ``BENCH_espresso_hf.json``
+at the repository root.  Committing the snapshot gives every future change
+a baseline to diff against: cover-size changes are correctness regressions,
 time/counter changes are performance ones.
 
 Usage::
@@ -13,6 +15,7 @@ Usage::
     python scripts/bench_hf.py                        # full 15-circuit suite
     python scripts/bench_hf.py --circuits dram-ctrl stetson-p3
     python scripts/bench_hf.py --repeats 5 --output /tmp/bench.json
+    python scripts/bench_hf.py --timeout 60           # 60s cap per circuit
 """
 
 from __future__ import annotations
@@ -21,46 +24,12 @@ import argparse
 import json
 import os
 import sys
-import time
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
-from repro.bm.benchmarks import BENCHMARKS, build_benchmark  # noqa: E402
-from repro.hazards.verify import verify_hazard_free_cover  # noqa: E402
-from repro.hf import espresso_hf  # noqa: E402
-
-
-def bench_circuit(name: str, repeats: int, verify: bool) -> dict:
-    """Best-of-``repeats`` measurement of one circuit."""
-    instance = build_benchmark(name)
-    best_time = None
-    best_result = None
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        result = espresso_hf(instance)
-        elapsed = time.perf_counter() - t0
-        if best_time is None or elapsed < best_time:
-            best_time = elapsed
-            best_result = result
-    row = {
-        "name": name,
-        "n_inputs": instance.n_inputs,
-        "n_outputs": instance.n_outputs,
-        "num_cubes": best_result.num_cubes,
-        "num_literals": best_result.num_literals,
-        "num_essential_classes": best_result.num_essential_classes,
-        "num_canonical_required": best_result.num_canonical_required,
-        "time_s": round(best_time, 6),
-        "phase_seconds": {
-            k: round(v, 6) for k, v in best_result.phase_seconds.items()
-        },
-        "counters": best_result.counters.as_dict(),
-    }
-    if verify:
-        violations = verify_hazard_free_cover(instance, best_result.cover)
-        row["verified"] = not violations
-    return row
+from repro.bm.benchmarks import BENCHMARKS  # noqa: E402
+from repro.guard.runner import benchmark_payload, run_batch  # noqa: E402
 
 
 def main(argv=None) -> int:
@@ -76,6 +45,23 @@ def main(argv=None) -> int:
         type=int,
         default=3,
         help="runs per circuit; the fastest is reported (default 3)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        metavar="S",
+        help="wall-clock cap per circuit (status 'timeout' on exceed); "
+        "default: unlimited",
+    )
+    parser.add_argument(
+        "--checked",
+        action="store_true",
+        help="run with phase-boundary invariant checkpoints on",
+    )
+    parser.add_argument(
+        "--bundle-dir",
+        default=os.path.join(REPO_ROOT, "artifacts"),
+        help="directory for failure repro bundles (default: artifacts/)",
     )
     parser.add_argument(
         "--no-verify",
@@ -95,30 +81,47 @@ def main(argv=None) -> int:
     if unknown:
         parser.error(f"unknown circuits: {', '.join(unknown)}")
 
-    rows = []
-    for name in names:
-        row = bench_circuit(name, args.repeats, verify=not args.no_verify)
-        rows.append(row)
-        status = "" if row.get("verified", True) else "  VERIFY FAILED"
-        print(
-            f"{name:18s} {row['num_cubes']:4d} cubes "
-            f"{row['time_s']:8.3f}s  "
-            f"supercube hits {row['counters']['supercube_hit_rate']:.0%}"
-            f"{status}"
+    payloads = [
+        benchmark_payload(
+            name,
+            checked=args.checked,
+            verify=not args.no_verify,
+            repeats=args.repeats,
         )
+        for name in names
+    ]
+    rows = run_batch(payloads, timeout_s=args.timeout, bundle_dir=args.bundle_dir)
+    for row in rows:
+        status = row["status"]
+        if status in ("ok", "degraded", "budget_exceeded"):
+            flag = "" if row.get("verified", True) else "  VERIFY FAILED"
+            if status != "ok":
+                flag += f"  [{status}]"
+            print(
+                f"{row['name']:18s} {row['num_cubes']:4d} cubes "
+                f"{row['time_s']:8.3f}s  "
+                f"supercube hits {row['counters']['supercube_hit_rate']:.0%}"
+                f"{flag}"
+            )
+        else:
+            where = f"  bundle: {row['bundle_path']}" if row.get("bundle_path") else ""
+            print(f"{row['name']:18s} {status.upper():>10s}  {row['error']}{where}")
 
     snapshot = {
         "suite": "espresso-hf",
         "python": sys.version.split()[0],
         "repeats": args.repeats,
-        "total_time_s": round(sum(r["time_s"] for r in rows), 6),
+        "total_time_s": round(sum(r.get("time_s", 0.0) for r in rows), 6),
         "circuits": rows,
     }
     with open(args.output, "w") as fh:
         json.dump(snapshot, fh, indent=2)
         fh.write("\n")
     print(f"total {snapshot['total_time_s']:.3f}s -> {args.output}")
-    return 0 if all(r.get("verified", True) for r in rows) else 1
+    clean = all(
+        r["status"] == "ok" and r.get("verified", True) for r in rows
+    )
+    return 0 if clean else 1
 
 
 if __name__ == "__main__":

@@ -1,100 +1,41 @@
+#!/usr/bin/env python
 """Long-running randomized validation of the whole stack.
 
+Thin wrapper around :mod:`repro.guard.fuzz` (the library form, whose seeded
+deterministic slice also runs in tier-1 CI as ``tests/test_fuzz_smoke.py``).
 Generates random instances (direct and via burst-mode synthesis) and checks
-every cross-implementation invariant the repository maintains:
-
-* Espresso-HF and the exact flow agree on solvability (Theorem 4.1);
-* every produced cover passes the Theorem 2.11 verifier;
-* Espresso-HF's cardinality is never below the exact minimum;
-* the eight-valued algebra agrees the cover is clean;
-* Monte-Carlo delay simulation finds no glitches.
+every cross-implementation invariant the repository maintains; failing
+seeds are delta-debugged and serialized as repro bundles under
+``artifacts/``.
 
 Run: python scripts/fuzz.py [n_iterations] [base_seed]
 """
 
+import os
 import sys
-import time
 
-from repro.bm.random_spec import random_burst_mode_spec, random_instance
-from repro.bm.spec import SpecError
-from repro.bm.synthesis import synthesize
-from repro.exact import exact_hazard_free_minimize, ExactBudget, ExactFailure
-from repro.exact.minimizer import NoSolutionError as ExactNoSolution
-from repro.hazards import hazard_free_solution_exists
-from repro.hazards.verify import verify_hazard_free_cover
-from repro.hf import espresso_hf, NoSolutionError
-from repro.simulate import SopNetwork, find_glitch
-from repro.simulate.algebra import cover_hazard_free_by_algebra
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.guard.fuzz import run_fuzz  # noqa: E402
 
 
-def check_instance(inst, budget, do_exact=True, do_sim=True) -> str:
-    exists = hazard_free_solution_exists(inst)
-    try:
-        hf = espresso_hf(inst)
-    except NoSolutionError:
-        assert not exists, f"{inst.name}: HF refused a solvable instance"
-        if do_exact:
-            try:
-                exact_hazard_free_minimize(inst, budget=budget)
-                raise AssertionError(f"{inst.name}: exact solved an unsolvable instance")
-            except (ExactNoSolution, ExactFailure):
-                pass
-        return "unsolvable"
-    assert exists, f"{inst.name}: HF solved but Theorem 4.1 says unsolvable"
-    violations = verify_hazard_free_cover(inst, hf.cover, collect_all=True)
-    assert not violations, f"{inst.name}: {violations[:3]}"
-    assert cover_hazard_free_by_algebra(inst, hf.cover), f"{inst.name}: algebra"
-    if do_exact:
-        try:
-            exact = exact_hazard_free_minimize(inst, budget=budget)
-            assert exact.num_cubes <= hf.num_cubes, (
-                f"{inst.name}: exact {exact.num_cubes} > HF {hf.num_cubes}"
-            )
-            assert not verify_hazard_free_cover(inst, exact.cover)
-        except ExactFailure:
-            pass
-    if do_sim:
-        for j in range(min(inst.n_outputs, 4)):
-            network = SopNetwork(hf.cover, output=j)
-            for t in inst.transitions[:6]:
-                glitch = find_glitch(network, t, trials=30, seed=1)
-                assert glitch is None, f"{inst.name}: {glitch}"
-    return "ok"
-
-
-def main() -> None:
+def main() -> int:
     n_iter = int(sys.argv[1]) if len(sys.argv) > 1 else 200
     base = int(sys.argv[2]) if len(sys.argv) > 2 else 0
-    budget = ExactBudget(
-        prime_limit=20_000, transform_limit=50_000,
-        covering_node_limit=100_000, time_limit_s=20,
+    report = run_fuzz(
+        n_iterations=n_iter,
+        base_seed=base,
+        bundle_dir=os.path.join(REPO_ROOT, "artifacts"),
+        verbose=True,
     )
-    t0 = time.perf_counter()
-    stats = {"ok": 0, "unsolvable": 0, "skipped": 0}
-    for i in range(n_iter):
-        seed = base + i
-        # alternate between direct random instances and synthesized machines
-        if i % 2 == 0:
-            inst = random_instance(
-                3 + seed % 3, 1 + seed % 3, n_transitions=4, seed=seed
-            )
-            outcome = check_instance(inst, budget)
-        else:
-            try:
-                spec = random_burst_mode_spec(
-                    2 + seed % 4, 1 + seed % 3, 2 + seed % 4, seed=seed
-                )
-                synth = synthesize(spec)
-            except SpecError:
-                stats["skipped"] += 1
-                continue
-            outcome = check_instance(synth.instance, budget, do_exact=(i % 4 == 1))
-        stats[outcome] += 1
-        if (i + 1) % 25 == 0:
-            print(f"  {i + 1}/{n_iter} ({time.perf_counter() - t0:.0f}s) {stats}",
-                  flush=True)
-    print(f"fuzz complete: {stats} in {time.perf_counter() - t0:.0f}s")
+    print(f"fuzz complete: {report.stats()} in {report.elapsed_s:.0f}s")
+    for failure in report.failures:
+        print(f"FAILED seed {failure.seed}: {failure.error}")
+        if failure.bundle_path:
+            print(f"  repro bundle: {failure.bundle_path}")
+    return 1 if report.failures else 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

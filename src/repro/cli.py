@@ -11,6 +11,19 @@ Examples::
     espresso-hf input.pla --exact             # exact flow instead
     espresso-hf input.pla --check-existence   # Theorem 4.1 only
     espresso-hf input.pla --verify            # re-verify via Theorem 2.11
+    espresso-hf input.pla --checked           # phase-boundary invariants on
+    espresso-hf input.pla --timeout 30        # isolated run, 30s wall cap
+
+Exit codes (see ``docs/FAILURES.md``):
+
+====  =========================================================
+0     success (including ``--check-existence`` with a positive answer)
+1     usage error or unexpected internal failure
+2     no hazard-free cover exists (Theorem 4.1)
+3     verification failed (Theorem 2.11 / checked-mode invariant / glitch)
+4     malformed input (bad PLA text or ill-formed instance)
+5     timeout or resource budget exhausted
+====  =========================================================
 """
 
 from __future__ import annotations
@@ -20,10 +33,22 @@ import sys
 from typing import List, Optional
 
 from repro.exact import exact_hazard_free_minimize, ExactBudget, ExactFailure
+from repro.guard.errors import (
+    InvariantViolation,
+    MalformedInstance,
+    NoSolutionError,
+)
 from repro.hazards.existence import existence_report
 from repro.hazards.verify import verify_hazard_free_cover
-from repro.hf import espresso_hf, EspressoHFOptions, NoSolutionError
-from repro.pla import read_pla, format_cover, write_pla
+from repro.hf import EspressoHFOptions
+from repro.pla import format_cover, parse_pla, read_pla, write_pla
+
+EXIT_OK = 0
+EXIT_USAGE = 1
+EXIT_NO_SOLUTION = 2
+EXIT_VERIFY_FAILED = 3
+EXIT_MALFORMED = 4
+EXIT_TIMEOUT = 5
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -57,6 +82,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="verify the result against Theorem 2.11 after minimizing",
     )
     parser.add_argument(
+        "--checked",
+        action="store_true",
+        help="guarded mode: assert the Theorem 2.11 invariants at every "
+        "phase boundary and cross-check the coverage engine (slower)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        metavar="SECONDS",
+        help="run the minimizer in an isolated subprocess with this "
+        "wall-clock cap; exceeding it exits with code 5",
+    )
+    parser.add_argument(
+        "--bundle-dir",
+        metavar="DIR",
+        default="artifacts",
+        help="directory for failure repro bundles (default: artifacts/)",
+    )
+    parser.add_argument(
         "--no-essentials",
         action="store_true",
         help="disable essential equivalence-class detection",
@@ -88,25 +132,97 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _heuristic_options(args) -> EspressoHFOptions:
+    return EspressoHFOptions(
+        use_essentials=not args.no_essentials,
+        use_last_gasp=not args.no_last_gasp,
+        make_prime=not args.no_make_prime,
+        checked=args.checked,
+    )
+
+
+def _run_isolated(args, instance, pla_text: str):
+    """Minimize in a subprocess under ``--timeout``; returns (cover, row).
+
+    Exits (via SystemExit) with the taxonomy code when the run does not
+    produce a cover.
+    """
+    from repro.guard.runner import pla_payload, run_one
+
+    payload = pla_payload(
+        pla_text,
+        name=instance.name,
+        options=_heuristic_options(args),
+        checked=args.checked,
+        verify=False,  # verification runs in the parent, on the real cover
+    )
+    row = run_one(payload, timeout_s=args.timeout, bundle_dir=args.bundle_dir)
+    status = row["status"]
+    if status == "timeout":
+        print(f"error: {row['error']}", file=sys.stderr)
+        if row.get("bundle_path"):
+            print(f"repro bundle: {row['bundle_path']}", file=sys.stderr)
+        raise SystemExit(EXIT_TIMEOUT)
+    if status == "no_solution":
+        print(f"no hazard-free cover exists: {row['error']}", file=sys.stderr)
+        raise SystemExit(EXIT_NO_SOLUTION)
+    if status == "invariant_violation":
+        print(f"error: {row['error']}", file=sys.stderr)
+        if row.get("bundle_path"):
+            print(f"repro bundle: {row['bundle_path']}", file=sys.stderr)
+        raise SystemExit(EXIT_VERIFY_FAILED)
+    if status in ("malformed",):
+        print(f"error: {row['error']}", file=sys.stderr)
+        raise SystemExit(EXIT_MALFORMED)
+    if status == "crash":
+        print(f"error: worker failed:\n{row['error']}", file=sys.stderr)
+        raise SystemExit(EXIT_USAGE)
+    if status != "ok":
+        # degraded / budget_exceeded: the cover is still valid — warn only.
+        print(f"warning: run finished with status={status}", file=sys.stderr)
+    cover = parse_pla(row["cover_pla"], name=instance.name).on
+    if args.stats:
+        print(
+            f"# {instance.name}: {row['num_cubes']} cubes, "
+            f"{row['num_literals']} literals, {row['time_s']:.3f}s "
+            f"(isolated run, status={status})",
+            file=sys.stderr,
+        )
+        for phase, seconds in row.get("phase_seconds", {}).items():
+            print(f"# {phase}: {seconds:.2f}s", file=sys.stderr)
+    return cover, row
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        # argparse exits 2 on usage errors and 0 on --help; remap usage
+        # errors onto the taxonomy (1 = usage) and pass --help through.
+        return EXIT_OK if exc.code in (0, None) else EXIT_USAGE
+
     try:
         pla = read_pla(args.input)
         instance = pla.to_instance()
-    except Exception as exc:  # noqa: BLE001 - CLI boundary
+    except (MalformedInstance, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_MALFORMED
+    except OSError as exc:
+        print(f"error: cannot read {args.input}: {exc}", file=sys.stderr)
+        return EXIT_USAGE
 
     if args.check_existence:
         report = existence_report(instance)
         if report.exists:
             print("a hazard-free cover exists")
-            return 0
+            return EXIT_OK
         print("NO hazard-free cover exists; offending required cubes:")
         for q in report.failures:
             print(f"   {q.cube.input_string()} (output {q.output})")
-        return 1
+        return EXIT_NO_SOLUTION
 
+    result = None
     try:
         if args.exact:
             result = exact_hazard_free_minimize(
@@ -117,26 +233,45 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"# dhf-primes: {result.num_dhf_primes}", file=sys.stderr)
                 for phase, seconds in result.phase_seconds.items():
                     print(f"# {phase}: {seconds:.2f}s", file=sys.stderr)
+        elif args.timeout:
+            from repro.pla.writer import format_pla
+
+            cover, _row = _run_isolated(args, instance, format_pla(instance))
         else:
-            options = EspressoHFOptions(
-                use_essentials=not args.no_essentials,
-                use_last_gasp=not args.no_last_gasp,
-                make_prime=not args.no_make_prime,
+            from repro.guard.runner import guarded_espresso_hf
+
+            result = guarded_espresso_hf(
+                instance,
+                _heuristic_options(args),
+                bundle_dir=args.bundle_dir if args.checked else None,
             )
-            result = espresso_hf(instance, options)
             cover = result.cover
+            if result.status != "ok":
+                print(
+                    f"warning: run finished with status={result.status} "
+                    "(the cover is hazard-free but may not be locally "
+                    "minimal); see docs/FAILURES.md",
+                    file=sys.stderr,
+                )
             if args.stats:
                 print(f"# {result.summary()}", file=sys.stderr)
                 for phase, seconds in result.phase_seconds.items():
                     print(f"# {phase}: {seconds:.2f}s", file=sys.stderr)
                 for line in result.counters.summary_lines():
                     print(f"# {line}", file=sys.stderr)
+    except SystemExit as exc:
+        return int(exc.code or 0)
     except NoSolutionError as exc:
         print(f"no hazard-free cover exists: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_NO_SOLUTION
+    except InvariantViolation as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if exc.bundle_path:
+            print(f"repro bundle: {exc.bundle_path}", file=sys.stderr)
+        return EXIT_VERIFY_FAILED
     except ExactFailure as exc:
-        print(f"exact flow failed: {exc}", file=sys.stderr)
-        return 3
+        print(f"exact flow failed (budget): {exc}", file=sys.stderr)
+        return EXIT_TIMEOUT
 
     if args.verify:
         violations = verify_hazard_free_cover(instance, cover)
@@ -144,15 +279,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             print("VERIFICATION FAILED:", file=sys.stderr)
             for v in violations:
                 print(f"   {v}", file=sys.stderr)
-            return 4
+            return EXIT_VERIFY_FAILED
         print("# verified hazard-free (Theorem 2.11)", file=sys.stderr)
 
     if args.report:
         from repro.report import minimization_report
 
         counters = getattr(result, "counters", None)
+        status = getattr(result, "status", "ok")
         print(
-            minimization_report(instance, cover, counters=counters),
+            minimization_report(instance, cover, counters=counters, status=status),
             file=sys.stderr,
         )
 
@@ -169,7 +305,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                         f"GLITCH: output {j} on transition {t}", file=sys.stderr
                     )
         if glitches:
-            return 5
+            return EXIT_VERIFY_FAILED
         print(
             f"# simulation clean ({args.simulate} delay trials per "
             "transition/output)",
@@ -181,7 +317,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         write_pla(cover, args.output, pla_type="f", name=f"{instance.name} minimized")
     else:
         print(text, end="")
-    return 0
+    return EXIT_OK
 
 
 if __name__ == "__main__":  # pragma: no cover

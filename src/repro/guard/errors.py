@@ -1,0 +1,92 @@
+"""Structured error taxonomy for the guarded execution runtime.
+
+Every failure the minimizer stack can produce maps onto one subclass of
+:class:`HFError`, so callers (the CLI, the batch runner, service frontends)
+can branch on *kind* of failure instead of string-matching messages:
+
+===========================  ==================================================
+class                        meaning
+===========================  ==================================================
+:class:`NoSolutionError`     the instance admits no hazard-free cover
+                             (Theorem 4.1) — a property of the input, not a
+                             fault
+:class:`BudgetExceeded`      a :class:`~repro.guard.budget.RunBudget` ran out
+                             before the canonical cover existed (once it does,
+                             budget exhaustion degrades gracefully instead of
+                             raising)
+:class:`InvariantViolation`  checked mode caught a cover that breaks a
+                             Theorem 2.11 condition at a phase boundary — an
+                             implementation bug, never user error
+:class:`MalformedInstance`   the input itself is ill-formed (bad PLA text,
+                             inconsistent ON/OFF sets, function hazards)
+===========================  ==================================================
+
+The classes double-inherit from the built-in exceptions the pre-guard code
+raised (``RuntimeError`` / ``ValueError``), so existing ``except`` clauses
+keep working.  This module must stay import-light: it is imported by
+``repro.hf`` and ``repro.pla`` and must never import them back.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class HFError(Exception):
+    """Base class of every structured Espresso-HF failure."""
+
+    #: CLI exit code associated with this failure kind (see repro.cli)
+    exit_code: int = 1
+
+
+class NoSolutionError(HFError, RuntimeError):
+    """Raised when the instance admits no hazard-free cover (Theorem 4.1)."""
+
+    exit_code = 2
+
+
+class BudgetExceeded(HFError, RuntimeError):
+    """A run budget was exhausted before any valid cover existed.
+
+    Raised cooperatively by :meth:`repro.guard.budget.RunBudget.checkpoint`.
+    Once the canonical cover is available the driver *catches* this and
+    returns a degraded result instead, so user code normally only sees the
+    ``status`` field, not the exception.
+    """
+
+    exit_code = 5
+
+    def __init__(self, reason: str, phase: str = ""):
+        super().__init__(f"{reason}" + (f" (during {phase})" if phase else ""))
+        self.reason = reason
+        self.phase = phase
+
+
+class InvariantViolation(HFError, AssertionError):
+    """Checked mode caught a Theorem 2.11 violation at a phase boundary.
+
+    Carries the phase name, the individual violation descriptions, and —
+    once the guarded wrapper has serialized one — the path of the repro
+    bundle that replays the failure.
+    """
+
+    exit_code = 3
+
+    def __init__(
+        self,
+        phase: str,
+        violations: Optional[List[str]] = None,
+        bundle_path: Optional[str] = None,
+    ):
+        self.phase = phase
+        self.violations = list(violations or [])
+        self.bundle_path = bundle_path
+        detail = "; ".join(self.violations[:3]) or "unspecified violation"
+        suffix = f" [bundle: {bundle_path}]" if bundle_path else ""
+        super().__init__(f"invariant violated after {phase}: {detail}{suffix}")
+
+
+class MalformedInstance(HFError, ValueError):
+    """The input instance or file is ill-formed (user error, exit code 4)."""
+
+    exit_code = 4

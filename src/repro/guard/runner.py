@@ -1,0 +1,439 @@
+"""Guarded single-run wrapper and subprocess-isolated batch runner.
+
+Two layers:
+
+:func:`guarded_espresso_hf`
+    In-process wrapper around :func:`repro.hf.espresso_hf` that turns the
+    guard policy on: on an invariant violation, a coverage cross-check
+    divergence, or a crash it serializes a repro bundle
+    (:mod:`repro.guard.bundle`), delta-debugs it down
+    (:mod:`repro.guard.shrink`), and attaches the bundle path to the
+    exception / result trace before propagating.
+
+:func:`run_one` / :func:`run_batch`
+    Process isolation: each work item (a benchmark circuit or a PLA text)
+    runs in its own subprocess with a wall-clock timeout, and the parent
+    receives a structured, JSON-ready row per item —
+    ``status ∈ {ok, degraded, budget_exceeded, no_solution,
+    invariant_violation, malformed, crash, timeout}`` plus metrics and the
+    bundle path, never an exception.  One pathological circuit can
+    therefore never take down a Figure-8 sweep: it times out or crashes
+    *in its own process* and the batch report simply records that.
+
+``scripts/bench_hf.py`` and the CLI's ``--timeout`` mode run on this
+module.  Work items are plain dicts (see :func:`benchmark_payload` /
+:func:`pla_payload`) so they cross the process boundary without pickling
+any library objects.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_mod
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.guard.bundle import (
+    describe_exception,
+    options_from_dict,
+    options_to_dict,
+    probe_failure,
+    write_bundle,
+)
+from repro.guard.errors import (
+    BudgetExceeded,
+    InvariantViolation,
+    MalformedInstance,
+    NoSolutionError,
+)
+from repro.guard.shrink import shrink_instance
+
+#: statuses a batch row can carry (superset of HFResult.status)
+ROW_STATUSES = (
+    "ok",
+    "degraded",
+    "budget_exceeded",
+    "no_solution",
+    "invariant_violation",
+    "malformed",
+    "crash",
+    "timeout",
+)
+
+
+# ----------------------------------------------------------------------
+# Guarded in-process wrapper
+# ----------------------------------------------------------------------
+
+
+def _bundle_failure(
+    instance,
+    options,
+    kind: str,
+    message: str,
+    phase: str,
+    bundle_dir: str,
+    trace=None,
+    shrink: bool = True,
+    max_shrink_evaluations: int = 200,
+) -> str:
+    """Write (and, when reproducible, shrink) one failure bundle."""
+    fault_hook = getattr(options, "coverage_fault_hook", None)
+    shrink_meta: Dict[str, Any] = {}
+    shrunk_instance = instance
+    if shrink:
+        def reproduces(candidate) -> bool:
+            return probe_failure(candidate, options, fault_hook=fault_hook) == kind
+
+        try:
+            if reproduces(instance):
+                result = shrink_instance(
+                    instance, reproduces, max_evaluations=max_shrink_evaluations
+                )
+                shrunk_instance = result.instance
+                shrink_meta = result.as_dict()
+        except Exception:  # noqa: BLE001 - shrinking must never mask the bug
+            shrunk_instance = instance
+            shrink_meta = {}
+    return write_bundle(
+        shrunk_instance,
+        failure_kind=kind,
+        failure_message=message,
+        failure_phase=phase,
+        options=options,
+        trace=trace,
+        shrink=shrink_meta,
+        bundle_dir=bundle_dir,
+    )
+
+
+def guarded_espresso_hf(
+    instance,
+    options=None,
+    bundle_dir: Optional[str] = None,
+    shrink: bool = True,
+    max_shrink_evaluations: int = 200,
+):
+    """Run :func:`espresso_hf` under the full guard policy.
+
+    Behaves exactly like ``espresso_hf`` on clean runs.  On failure, and
+    when ``bundle_dir`` is set:
+
+    * :class:`InvariantViolation` — a shrunk repro bundle is written and
+      its path attached to the exception (``exc.bundle_path``) before
+      re-raising;
+    * any other unexpected exception — a bundle is written, then the
+      exception propagates unchanged;
+    * a recovered cross-check divergence (the run continued on the scalar
+      fallback and the result is valid) — a bundle is written and its path
+      appended to ``result.trace``; no exception, since the cover is good.
+
+    ``NoSolutionError`` and ``BudgetExceeded`` pass through untouched:
+    they are properties of the input and the budget, not faults.
+    """
+    from repro.hf.espresso_hf import EspressoHFOptions, espresso_hf
+
+    options = options or EspressoHFOptions()
+    try:
+        result = espresso_hf(instance, options)
+    except (NoSolutionError, BudgetExceeded):
+        raise
+    except InvariantViolation as exc:
+        if bundle_dir:
+            exc.bundle_path = _bundle_failure(
+                instance,
+                options,
+                "invariant_violation",
+                str(exc),
+                exc.phase,
+                bundle_dir,
+                shrink=shrink,
+                max_shrink_evaluations=max_shrink_evaluations,
+            )
+        raise
+    except Exception as exc:  # noqa: BLE001 - bundle, then propagate
+        if bundle_dir:
+            _bundle_failure(
+                instance,
+                options,
+                "crash",
+                describe_exception(exc),
+                "",
+                bundle_dir,
+                shrink=shrink,
+                max_shrink_evaluations=max_shrink_evaluations,
+            )
+        raise
+    if result.counters.crosscheck_divergences and bundle_dir:
+        path = _bundle_failure(
+            instance,
+            options,
+            "crosscheck_divergence",
+            f"{result.counters.crosscheck_divergences} coverage cross-check "
+            "divergences (run recovered on the scalar fallback)",
+            "",
+            bundle_dir,
+            trace=result.trace,
+            shrink=shrink,
+            max_shrink_evaluations=max_shrink_evaluations,
+        )
+        result.trace.append(f"bundle:{path}")
+    return result
+
+
+# ----------------------------------------------------------------------
+# Work-item payloads
+# ----------------------------------------------------------------------
+
+
+def benchmark_payload(
+    name: str,
+    options=None,
+    checked: bool = False,
+    verify: bool = True,
+    repeats: int = 1,
+    timeout_s: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Work item for one named Figure-8 benchmark circuit."""
+    return {
+        "kind": "benchmark",
+        "name": name,
+        "options": options_to_dict(options),
+        "checked": checked,
+        "verify": verify,
+        "repeats": repeats,
+        "timeout_s": timeout_s,
+    }
+
+
+def pla_payload(
+    pla_text: str,
+    name: str = "instance",
+    options=None,
+    checked: bool = False,
+    verify: bool = True,
+    timeout_s: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Work item for one extended-PLA instance (the CLI's ``--timeout``)."""
+    return {
+        "kind": "pla",
+        "name": name,
+        "pla_text": pla_text,
+        "options": options_to_dict(options),
+        "checked": checked,
+        "verify": verify,
+        "repeats": 1,
+        "return_cover": True,
+        "timeout_s": timeout_s,
+    }
+
+
+def _build_instance(payload: Dict[str, Any]):
+    if payload["kind"] == "benchmark":
+        from repro.bm.benchmarks import build_benchmark
+
+        return build_benchmark(payload["name"])
+    from repro.pla import parse_pla
+
+    return parse_pla(payload["pla_text"], name=payload.get("name", "pla")).to_instance()
+
+
+def minimize_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Execute one work item in-process; always returns a structured row.
+
+    This is the body the subprocess child runs; tests may call it directly.
+    """
+    from repro.pla.reader import PlaError
+
+    name = payload.get("name", "instance")
+    row: Dict[str, Any] = {"name": name, "status": "crash", "bundle_path": None}
+    bundle_dir = payload.get("bundle_dir")
+    try:
+        instance = _build_instance(payload)
+    except (PlaError, MalformedInstance, ValueError, KeyError) as exc:
+        row["status"] = "malformed"
+        row["error"] = f"{type(exc).__name__}: {exc}"
+        return row
+    row["n_inputs"] = instance.n_inputs
+    row["n_outputs"] = instance.n_outputs
+    options = options_from_dict(payload.get("options", {}))
+    options.checked = bool(payload.get("checked", False))
+    best_time: Optional[float] = None
+    best = None
+    try:
+        for _ in range(max(1, int(payload.get("repeats", 1)))):
+            if options.budget is not None:
+                options.budget.reset()
+            t0 = time.perf_counter()
+            result = guarded_espresso_hf(instance, options, bundle_dir=bundle_dir)
+            elapsed = time.perf_counter() - t0
+            if best_time is None or elapsed < best_time:
+                best_time = elapsed
+                best = result
+    except NoSolutionError as exc:
+        row["status"] = "no_solution"
+        row["error"] = str(exc)
+        return row
+    except InvariantViolation as exc:
+        row["status"] = "invariant_violation"
+        row["error"] = str(exc)
+        row["bundle_path"] = exc.bundle_path
+        return row
+    except Exception as exc:  # noqa: BLE001 - isolation boundary
+        row["status"] = "crash"
+        row["error"] = describe_exception(exc)
+        return row
+    row.update(
+        {
+            "status": best.status,
+            "num_cubes": best.num_cubes,
+            "num_literals": best.num_literals,
+            "num_essential_classes": best.num_essential_classes,
+            "num_canonical_required": best.num_canonical_required,
+            "time_s": round(best_time, 6),
+            "phase_seconds": {
+                k: round(v, 6) for k, v in best.phase_seconds.items()
+            },
+            "counters": best.counters.as_dict(),
+            "trace": list(best.trace),
+            "error": None,
+        }
+    )
+    for line in best.trace:
+        if line.startswith("bundle:"):
+            row["bundle_path"] = line.split(":", 1)[1]
+    if payload.get("verify", True):
+        from repro.hazards.verify import verify_hazard_free_cover
+
+        violations = verify_hazard_free_cover(instance, best.cover)
+        row["verified"] = not violations
+        if violations:
+            row["status"] = "invariant_violation"
+            row["error"] = "; ".join(str(v) for v in violations[:3])
+            if bundle_dir:
+                row["bundle_path"] = _bundle_failure(
+                    instance,
+                    options,
+                    "verify_failed",
+                    row["error"],
+                    "final",
+                    bundle_dir,
+                    trace=best.trace,
+                )
+    if payload.get("return_cover"):
+        from repro.pla.writer import format_cover
+
+        row["cover_pla"] = format_cover(
+            best.cover, pla_type="f", name=f"{name} minimized"
+        )
+    return row
+
+
+def _child_main(payload: Dict[str, Any], out_queue) -> None:  # pragma: no cover
+    """Subprocess entry point: run the payload, ship the row, exit."""
+    try:
+        row = minimize_payload(payload)
+    except BaseException as exc:  # noqa: BLE001 - last-resort isolation
+        row = {
+            "name": payload.get("name", "instance"),
+            "status": "crash",
+            "error": describe_exception(exc),
+            "bundle_path": None,
+        }
+    try:
+        out_queue.put(row)
+    except Exception:  # noqa: BLE001 - parent will report a crash
+        pass
+
+
+def run_one(
+    payload: Dict[str, Any],
+    timeout_s: Optional[float] = None,
+    bundle_dir: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Run one work item in a subprocess with a wall-clock timeout.
+
+    A ``timeout_s`` key in the payload overrides the argument.  On timeout
+    the child is terminated and the row reports ``status="timeout"`` (with
+    an input-preserving bundle when ``bundle_dir`` is set); on a child that
+    dies without reporting, ``status="crash"`` with the exit code.
+    """
+    timeout = payload.get("timeout_s") or timeout_s
+    if bundle_dir:
+        payload = dict(payload, bundle_dir=bundle_dir)
+    name = payload.get("name", "instance")
+    ctx = multiprocessing.get_context()
+    out_queue = ctx.Queue()
+    proc = ctx.Process(target=_child_main, args=(payload, out_queue), daemon=True)
+    t0 = time.perf_counter()
+    proc.start()
+    deadline = None if timeout is None else t0 + timeout
+    row: Optional[Dict[str, Any]] = None
+    while row is None:
+        try:
+            row = out_queue.get(timeout=0.05)
+        except queue_mod.Empty:
+            if deadline is not None and time.perf_counter() >= deadline:
+                proc.terminate()
+                proc.join()
+                row = {
+                    "name": name,
+                    "status": "timeout",
+                    "time_s": round(time.perf_counter() - t0, 6),
+                    "error": f"exceeded per-circuit timeout of {timeout:g}s",
+                    "bundle_path": _timeout_bundle(payload, bundle_dir, timeout),
+                }
+                break
+            if not proc.is_alive():
+                # One grace read: the row may have landed between polls.
+                try:
+                    row = out_queue.get(timeout=0.5)
+                except queue_mod.Empty:
+                    row = {
+                        "name": name,
+                        "status": "crash",
+                        "time_s": round(time.perf_counter() - t0, 6),
+                        "error": "worker died without reporting "
+                        f"(exit code {proc.exitcode})",
+                        "bundle_path": None,
+                    }
+                break
+    proc.join(timeout=1.0)
+    if proc.is_alive():  # pragma: no cover - defensive cleanup
+        proc.terminate()
+        proc.join()
+    row.setdefault("time_s", round(time.perf_counter() - t0, 6))
+    return row
+
+
+def _timeout_bundle(
+    payload: Dict[str, Any], bundle_dir: Optional[str], timeout: float
+) -> Optional[str]:
+    """Preserve a timed-out work item's input as a (non-shrunk) bundle."""
+    if not bundle_dir:
+        return None
+    try:
+        instance = _build_instance(payload)
+        return write_bundle(
+            instance,
+            failure_kind="timeout",
+            failure_message=f"exceeded per-circuit timeout of {timeout:g}s",
+            options=options_from_dict(payload.get("options", {})),
+            bundle_dir=bundle_dir,
+        )
+    except Exception:  # noqa: BLE001 - bundling best-effort on timeout
+        return None
+
+
+def run_batch(
+    payloads: List[Dict[str, Any]],
+    timeout_s: Optional[float] = None,
+    bundle_dir: Optional[str] = None,
+) -> List[Dict[str, Any]]:
+    """Run a list of work items, each isolated; one row per item, always.
+
+    Items run sequentially (measurement noise beats parallel speed for the
+    benchmark harness); a timeout or crash in one item never affects the
+    rest of the batch.
+    """
+    return [run_one(p, timeout_s=timeout_s, bundle_dir=bundle_dir) for p in payloads]

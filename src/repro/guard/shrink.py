@@ -1,0 +1,222 @@
+"""Delta-debugging shrinker for failure repro bundles.
+
+Given a failing instance and a *reproduction predicate* (``instance ->
+bool``), the shrinker greedily removes structure while the failure keeps
+reproducing — hypothesis-style, so the bundle attached to a bug report is
+the smallest instance the reducer could reach, not the multi-kilobyte
+original:
+
+1. **transitions** — ddmin-style: drop halves, then quarters, ... then
+   single transitions;
+2. **outputs** — drop one output function at a time (covers are projected,
+   transitions shared);
+3. **inputs** — eliminate an input variable when every transition holds it
+   at one constant value, by cofactoring the ON/OFF covers on that value
+   and deleting the column.
+
+The passes repeat until a full round makes no progress.  Candidate
+instances that fail *validation* (e.g. removing a transition exposes a
+function hazard) simply don't reproduce and are skipped — the predicate
+wrapper treats any construction error as "not reproducing".  Total
+predicate evaluations are capped; each evaluation re-runs the minimizer,
+so the cap bounds shrink cost on pathological inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.cubes.cube import Cube
+from repro.cubes.cover import Cover
+from repro.hazards.instance import HazardFreeInstance
+from repro.hazards.transitions import Transition
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink run."""
+
+    instance: HazardFreeInstance
+    evaluations: int = 0
+    #: sizes before/after, for the bundle's shrink metadata
+    original: dict = field(default_factory=dict)
+    shrunk: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "original": self.original,
+            "shrunk": self.shrunk,
+            "evaluations": self.evaluations,
+        }
+
+
+def _sizes(instance: HazardFreeInstance) -> dict:
+    return {
+        "n_inputs": instance.n_inputs,
+        "n_outputs": instance.n_outputs,
+        "n_transitions": len(instance.transitions),
+        "n_on": len(instance.on),
+        "n_off": len(instance.off),
+    }
+
+
+def _rebuild(
+    instance: HazardFreeInstance,
+    on: Cover,
+    off: Cover,
+    transitions: Sequence[Transition],
+    suffix: str,
+) -> HazardFreeInstance:
+    return HazardFreeInstance(
+        on, off, list(transitions), name=f"{instance.name}{suffix}", validate=True
+    )
+
+
+def _with_transitions(
+    instance: HazardFreeInstance, transitions: Sequence[Transition]
+) -> HazardFreeInstance:
+    return _rebuild(instance, instance.on, instance.off, transitions, "")
+
+
+def _project_outputs(cover: Cover, keep: List[int]) -> Cover:
+    """Project a multi-output cover onto a subset of outputs (renumbered)."""
+    out = Cover(cover.n_inputs, (), len(keep))
+    for c in cover:
+        outbits = 0
+        for new_j, old_j in enumerate(keep):
+            if (c.outbits >> old_j) & 1:
+                outbits |= 1 << new_j
+        if outbits:
+            out.append(Cube(cover.n_inputs, c.inbits, outbits, len(keep)))
+    return out
+
+
+def _drop_output(instance: HazardFreeInstance, j: int) -> Optional[HazardFreeInstance]:
+    if instance.n_outputs <= 1:
+        return None
+    keep = [k for k in range(instance.n_outputs) if k != j]
+    return _rebuild(
+        instance,
+        _project_outputs(instance.on, keep),
+        _project_outputs(instance.off, keep),
+        instance.transitions,
+        "",
+    )
+
+
+def _drop_input(instance: HazardFreeInstance, i: int) -> Optional[HazardFreeInstance]:
+    """Eliminate input ``i`` when every transition pins it to one value."""
+    if instance.n_inputs <= 1:
+        return None
+    values = {
+        (t.start[i], t.end[i]) for t in instance.transitions
+    }
+    if len(values) != 1:
+        return None
+    start_v, end_v = next(iter(values))
+    if start_v != end_v:
+        return None  # the input actually switches: not removable
+    v = start_v
+
+    def project(cover: Cover) -> Optional[Cover]:
+        out = Cover(cover.n_inputs - 1, (), cover.n_outputs)
+        for c in cover:
+            s = c.input_string()
+            lit = s[i]
+            if lit not in ("-", "01"[v]):
+                continue  # cube disjoint from the x_i = v subspace
+            out.append(
+                Cube.from_string(s[:i] + s[i + 1 :], c.output_string())
+            )
+        return out
+
+    on = project(instance.on)
+    off = project(instance.off)
+    transitions = [
+        Transition(t.start[:i] + t.start[i + 1 :], t.end[:i] + t.end[i + 1 :])
+        for t in instance.transitions
+    ]
+    return _rebuild(instance, on, off, transitions, "")
+
+
+def shrink_instance(
+    instance: HazardFreeInstance,
+    reproduces: Callable[[HazardFreeInstance], bool],
+    max_evaluations: int = 200,
+) -> ShrinkResult:
+    """Greedily minimize ``instance`` while ``reproduces`` stays true.
+
+    ``reproduces(instance)`` must be true for the input instance; the
+    returned instance is the smallest reduction found within the
+    evaluation cap.  Exceptions from candidate construction or the
+    predicate count as "does not reproduce".
+    """
+    result = ShrinkResult(instance=instance, original=_sizes(instance))
+    current = instance
+
+    def try_candidate(build: Callable[[], Optional[HazardFreeInstance]]) -> Optional[
+        HazardFreeInstance
+    ]:
+        if result.evaluations >= max_evaluations:
+            return None
+        try:
+            candidate = build()
+        except Exception:  # noqa: BLE001 - invalid reduction, skip
+            return None
+        if candidate is None:
+            return None
+        result.evaluations += 1
+        try:
+            if reproduces(candidate):
+                return candidate
+        except Exception:  # noqa: BLE001 - predicate crash = no repro
+            return None
+        return None
+
+    progress = True
+    while progress and result.evaluations < max_evaluations:
+        progress = False
+
+        # 1. transitions, ddmin-style: large chunks first.
+        chunk = max(1, len(current.transitions) // 2)
+        while chunk >= 1:
+            i = 0
+            while i < len(current.transitions):
+                ts = current.transitions
+                candidate_ts = ts[:i] + ts[i + chunk :]
+                if not candidate_ts:
+                    break  # an instance needs at least one transition to fail
+                shrunk = try_candidate(
+                    lambda cts=candidate_ts: _with_transitions(current, cts)
+                )
+                if shrunk is not None:
+                    current = shrunk
+                    progress = True
+                else:
+                    i += chunk
+            chunk //= 2
+
+        # 2. outputs, one at a time.
+        j = 0
+        while j < current.n_outputs and current.n_outputs > 1:
+            shrunk = try_candidate(lambda jj=j: _drop_output(current, jj))
+            if shrunk is not None:
+                current = shrunk
+                progress = True
+            else:
+                j += 1
+
+        # 3. inputs pinned constant by every transition.
+        i = 0
+        while i < current.n_inputs and current.n_inputs > 1:
+            shrunk = try_candidate(lambda ii=i: _drop_input(current, ii))
+            if shrunk is not None:
+                current = shrunk
+                progress = True
+            else:
+                i += 1
+
+    result.instance = current
+    result.shrunk = _sizes(current)
+    return result

@@ -18,6 +18,7 @@ from typing import List, Optional, Sequence
 from repro.cubes.cube import Cube
 from repro.cubes.cover import Cover
 from repro.espresso.tautology import tautology
+from repro.guard.errors import MalformedInstance
 from repro.hazards.transitions import (
     Transition,
     TransitionKind,
@@ -61,8 +62,12 @@ class PrivilegedCube:
         )
 
 
-class InstanceError(ValueError):
-    """Raised when an instance violates the model's preconditions."""
+class InstanceError(MalformedInstance):
+    """Raised when an instance violates the model's preconditions.
+
+    Part of the :class:`~repro.guard.errors.MalformedInstance` family (still
+    a ``ValueError``), so the CLI reports it as a user-input error (exit 4).
+    """
 
 
 class HazardFreeInstance:

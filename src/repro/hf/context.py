@@ -15,6 +15,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.cubes.cube import Cube
 from repro.cubes.cover import Cover
+from repro.guard.budget import RunBudget
 from repro.hazards.instance import HazardFreeInstance, PrivilegedCube
 from repro.hf.coverage import CoverageIndex
 from repro.perf import PerfCounters
@@ -53,12 +54,22 @@ class HFContext:
     """
 
     def __init__(
-        self, instance: HazardFreeInstance, perf: Optional[PerfCounters] = None
+        self,
+        instance: HazardFreeInstance,
+        perf: Optional[PerfCounters] = None,
+        budget: Optional[RunBudget] = None,
+        checked: bool = False,
     ):
         self.instance = instance
         self.n_inputs = instance.n_inputs
         self.n_outputs = instance.n_outputs
         self.perf = perf if perf is not None else PerfCounters()
+        #: cooperative run budget (None = uncapped); see repro.guard.budget
+        self.budget = budget
+        #: checked mode: phase-boundary invariant checkpoints are active
+        self.checked = checked
+        #: phase trace: one line per phase boundary / guard event, in order
+        self.trace: List[str] = []
         self.coverage = CoverageIndex(self.n_outputs, self.perf)
         self.priv_by_output: List[List[PrivilegedCube]] = [
             instance.privileged_for_output(j) for j in range(self.n_outputs)
@@ -94,6 +105,36 @@ class HFContext:
         #: SWAR block width: the input part plus one always-zero spare bit,
         #: so per-block values stay below the high (zero-flag) bit.
         self._block_width = 2 * self.n_inputs + 1
+
+    # ------------------------------------------------------------------
+    # Guarded execution hooks
+    # ------------------------------------------------------------------
+
+    def checkpoint(self, phase: str = "") -> None:
+        """Cooperative budget checkpoint, called by the operators per cube.
+
+        A no-op without a budget; with one, raises
+        :class:`~repro.guard.errors.BudgetExceeded` once a cap is blown.
+        The driver catches it at the phase boundary and degrades to the
+        best cover built so far.
+        """
+        if self.budget is not None:
+            self.budget.checkpoint(phase)
+
+    def record_phase(self, name: str, cover_size: int) -> None:
+        """Append one phase-boundary line to the run trace."""
+        self.trace.append(f"{name}:|F|={cover_size}")
+
+    def activate_scalar_fallback(self, phase: str = "") -> None:
+        """Degrade coverage queries to the scalar path (checked mode).
+
+        Called by :func:`repro.guard.invariants.check_phase` when the
+        scalar-vs-bitset cross-check diverges; idempotent.
+        """
+        if not self.coverage.scalar_mode:
+            self.coverage.enter_scalar_mode()
+            self.perf.scalar_fallbacks += 1
+            self.trace.append(f"scalar-fallback@{phase or 'unknown'}")
 
     # ------------------------------------------------------------------
     # supercube_dhf over an output set

@@ -32,11 +32,27 @@ from repro.perf import PerfCounters
 
 
 class CoverageIndex:
-    """Memoized |Q|-wide coverage bitmasks over the required-cube universe."""
+    """Memoized |Q|-wide coverage bitmasks over the required-cube universe.
+
+    The index runs in one of two modes.  The default *engine* mode serves
+    masks from the per-output and combined caches.  *Scalar* mode
+    (:meth:`enter_scalar_mode`) recomputes every mask from the per-pair
+    containment predicate on each call, bypassing all caches — it is the
+    fallback path checked mode switches to when the scalar-vs-bitset
+    cross-check (:mod:`repro.guard.invariants`) catches a divergence, so a
+    wrong cache entry degrades the run to the slow path instead of a wrong
+    cover.  ``fault_hook`` is the injection point those cross-check tests
+    use: it perturbs engine-mode masks only (a fault model for cache
+    corruption), never the scalar path.
+    """
 
     def __init__(self, n_outputs: int, perf: Optional[PerfCounters] = None):
         self.n_outputs = n_outputs
         self.perf = perf if perf is not None else PerfCounters()
+        #: scalar fallback switch (see class docstring)
+        self.scalar_mode = False
+        #: optional (inbits, outbits, mask) -> mask fault injector
+        self.fault_hook = None
         #: (canonical inbits, output) -> universe index
         self._index: Dict[Tuple[int, int], int] = {}
         #: per output j: [(universe index, canonical inbits), ...]
@@ -93,6 +109,8 @@ class CoverageIndex:
         The combined (input bits, output set) result is memoized on top of
         the per-output masks, so the hot-path cost is one dictionary probe.
         """
+        if self.scalar_mode:
+            return self._scalar_covered_bits(inbits, outbits)
         key = (inbits, outbits)
         cached = self._combined_cache.get(key)
         if cached is not None and cached[0] == len(self._index):
@@ -106,8 +124,30 @@ class CoverageIndex:
                 mask |= self._output_mask(inbits, j)
             ob >>= 1
             j += 1
+        if self.fault_hook is not None:
+            mask = self.fault_hook(inbits, outbits, mask)
         self._combined_cache[key] = (len(self._index), mask)
         return mask
+
+    def _scalar_covered_bits(self, inbits: int, outbits: int) -> int:
+        """Uncached per-pair containment scan (the fallback oracle path)."""
+        mask = 0
+        j = 0
+        ob = outbits
+        while ob:
+            if ob & 1:
+                for pos, q_in in self._by_output[j]:
+                    if q_in & inbits == q_in:
+                        mask |= 1 << pos
+            ob >>= 1
+            j += 1
+        return mask
+
+    def enter_scalar_mode(self) -> None:
+        """Switch to the scalar fallback path and drop every cached mask."""
+        self.scalar_mode = True
+        self._mask_cache.clear()
+        self._combined_cache.clear()
 
     def _output_mask(self, inbits: int, j: int) -> int:
         bucket = self._by_output[j]

@@ -1,4 +1,4 @@
-"""The Espresso-HF driver (paper Figure 2).
+"""The Espresso-HF driver (paper Figure 2), under the guarded runtime.
 
 ::
 
@@ -21,17 +21,34 @@
         F = make_dhf_prime(F)
 
 The minimizer is heuristic *only in cover cardinality*: the result is always
-a hazard-free cover (checked by the Theorem 2.11 verifier in the tests).
+a hazard-free cover.  The guarded runtime (:mod:`repro.guard`) enforces that
+contract operationally:
+
+* a :class:`~repro.guard.budget.RunBudget` on the options bounds the run;
+  once the canonical cover exists, budget exhaustion returns the best
+  phase-boundary snapshot with ``status="budget_exceeded"`` instead of
+  hanging or raising — every snapshot is a valid hazard-free cover by
+  construction (the canonical cubes cover everything, and every operator
+  preserves coverage and dhf-implicant validity);
+* ``checked=True`` asserts the Theorem 2.11 conditions at every phase
+  boundary and cross-checks the coverage-bitset engine against the scalar
+  predicate, falling back to the scalar path on divergence
+  (:mod:`repro.guard.invariants`);
+* an outer loop that stops on ``max_outer_iterations`` without converging
+  reports ``status="degraded"`` instead of posing as converged.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.cubes.cube import Cube
 from repro.cubes.cover import Cover
+from repro.guard.budget import RunBudget
+from repro.guard.errors import BudgetExceeded, NoSolutionError
+from repro.guard.invariants import check_final, check_phase
 from repro.hazards.instance import HazardFreeInstance
 from repro.hf.context import HFContext, TaggedRequired
 from repro.hf.essentials import compute_essentials
@@ -43,9 +60,8 @@ from repro.hf.reduce_ import reduce_cover
 from repro.hf.result import HFResult
 from repro.perf import PerfCounters
 
-
-class NoSolutionError(RuntimeError):
-    """Raised when the instance admits no hazard-free cover (Theorem 4.1)."""
+#: status severity order for merging per-output results
+_STATUS_RANK = {"ok": 0, "degraded": 1, "budget_exceeded": 2}
 
 
 @dataclass
@@ -56,6 +72,15 @@ class EspressoHFOptions:
     IRREDUNDANT (the paper notes either mode works; the tables are small
     because rows are required cubes, not minterms).  ``make_prime`` controls
     the final MAKE_DHF_PRIME pass.
+
+    ``budget`` attaches a :class:`~repro.guard.budget.RunBudget`; the run
+    then degrades gracefully (``HFResult.status``) instead of running
+    unbounded.  ``checked`` turns on phase-boundary invariant checkpoints
+    and the scalar-vs-bitset coverage cross-check — slower, but every
+    intermediate cover is machine-checked.  ``coverage_fault_hook`` is a
+    fault injector for the coverage engine ((inbits, outbits, mask) ->
+    mask), used to validate that checked mode catches engine bugs; never
+    set it in production.
     """
 
     use_essentials: bool = True
@@ -64,6 +89,9 @@ class EspressoHFOptions:
     exact_irredundant: bool = True
     irredundant_node_limit: Optional[int] = 200_000
     max_outer_iterations: int = 20
+    budget: Optional[RunBudget] = None
+    checked: bool = False
+    coverage_fault_hook: Optional[Callable[[int, int, int], int]] = None
 
 
 def espresso_hf(
@@ -71,12 +99,19 @@ def espresso_hf(
 ) -> HFResult:
     """Minimize a hazard-free instance heuristically (the paper's algorithm).
 
-    Raises :class:`NoSolutionError` when no hazard-free cover exists.
+    Raises :class:`NoSolutionError` when no hazard-free cover exists.  With
+    a budget on the options, :class:`~repro.guard.errors.BudgetExceeded`
+    can only escape while the canonical cover is still being computed
+    (before any valid cover exists); afterwards exhaustion is reported via
+    ``HFResult.status``.
     """
     options = options or EspressoHFOptions()
     t_start = time.perf_counter()
     phases = {}
-    ctx = HFContext(instance)
+    checked = options.checked
+    ctx = HFContext(instance, budget=options.budget, checked=checked)
+    if options.coverage_fault_hook is not None:
+        ctx.coverage.fault_hook = options.coverage_fault_hook
 
     t0 = time.perf_counter()
     qf = ctx.canonical_required()
@@ -87,6 +122,7 @@ def espresso_hf(
             "(Theorem 4.1: no hazard-free cover exists)"
         )
     num_required = len(instance.required_cubes())
+    ctx.record_phase("canonicalize", len(qf))
 
     if not qf:
         return HFResult(
@@ -96,70 +132,128 @@ def espresso_hf(
             runtime_s=time.perf_counter() - t_start,
             phase_seconds=phases,
             counters=ctx.perf,
+            trace=list(ctx.trace),
         )
 
-    t0 = time.perf_counter()
+    # From here on a valid hazard-free cover always exists — the canonical
+    # required cubes themselves — so budget exhaustion never raises past
+    # this point: the newest phase-boundary snapshot is returned instead.
+    best: List[Cube] = [ctx.cube_for(q) for q in qf]
     essentials: List[Cube] = []
     remaining: List[TaggedRequired] = list(qf)
-    if options.use_essentials:
-        essentials, remaining = compute_essentials(ctx, qf)
-    phases["essentials"] = time.perf_counter() - t0
-
-    t0 = time.perf_counter()
+    status = "ok"
     iterations = 0
-    f: List[Cube] = [ctx.cube_for(q) for q in remaining]
-    if f:
-        f = expand_cover(f, remaining, ctx)
-        f = irredundant_cover(
-            f,
-            remaining,
-            ctx,
-            exact=options.exact_irredundant,
-            node_limit=options.irredundant_node_limit,
-        )
-        for _ in range(options.max_outer_iterations):
-            size_outer = len(f)
-            while True:
-                size_inner = len(f)
-                f = reduce_cover(f, remaining, ctx)
-                f = expand_cover(f, remaining, ctx)
-                f = irredundant_cover(
-                    f,
-                    remaining,
-                    ctx,
-                    exact=options.exact_irredundant,
-                    node_limit=options.irredundant_node_limit,
-                )
-                iterations += 1
-                if len(f) >= size_inner:
-                    break
-            if options.use_last_gasp:
-                f = last_gasp(
-                    f,
-                    remaining,
-                    ctx,
-                    exact=options.exact_irredundant,
-                    node_limit=options.irredundant_node_limit,
-                )
-            if len(f) >= size_outer:
-                break
-    phases["loop"] = time.perf_counter() - t0
+    f: List[Cube] = []
+    try:
+        t0 = time.perf_counter()
+        if options.use_essentials:
+            essentials, remaining = compute_essentials(ctx, qf)
+        phases["essentials"] = time.perf_counter() - t0
+        f = [ctx.cube_for(q) for q in remaining]
+        best = f + essentials
+        ctx.record_phase("essentials", len(best))
+        if checked:
+            check_phase(ctx, "essentials", f + essentials, qf)
 
-    f = f + essentials
-    t0 = time.perf_counter()
-    if options.make_prime:
-        f = make_cover_dhf_prime(f, ctx)
-        # Expansion to dhf-primes can (rarely) make another cube redundant;
-        # a final required-cube IRREDUNDANT pass over the full canonical set
-        # restores irredundancy and can only shrink the cover.
-        f = irredundant_cover(
-            f,
-            qf,
-            ctx,
-            exact=options.exact_irredundant,
-            node_limit=options.irredundant_node_limit,
-        )
-    phases["make_prime"] = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        converged = True
+        if f:
+            f = expand_cover(f, remaining, ctx)
+            best = f + essentials
+            if checked:
+                check_phase(ctx, "expand", f, remaining)
+            f = irredundant_cover(
+                f,
+                remaining,
+                ctx,
+                exact=options.exact_irredundant,
+                node_limit=options.irredundant_node_limit,
+            )
+            best = f + essentials
+            if checked:
+                check_phase(ctx, "irredundant", f, remaining)
+            ctx.record_phase("initial", len(f))
+            # Convergence must be demonstrated by a non-shrinking pass; a
+            # cap of 0 (or running out of passes) means it never was.
+            converged = False
+            for _ in range(options.max_outer_iterations):
+                converged = False
+                size_outer = len(f)
+                while True:
+                    size_inner = len(f)
+                    f = reduce_cover(f, remaining, ctx)
+                    if checked:
+                        check_phase(ctx, "reduce", f, remaining)
+                    f = expand_cover(f, remaining, ctx)
+                    if checked:
+                        check_phase(ctx, "expand", f, remaining)
+                    f = irredundant_cover(
+                        f,
+                        remaining,
+                        ctx,
+                        exact=options.exact_irredundant,
+                        node_limit=options.irredundant_node_limit,
+                    )
+                    best = f + essentials
+                    if checked:
+                        check_phase(ctx, "irredundant", f, remaining)
+                    iterations += 1
+                    if ctx.budget is not None:
+                        ctx.budget.charge_iteration()
+                    if len(f) >= size_inner:
+                        break
+                if options.use_last_gasp:
+                    f = last_gasp(
+                        f,
+                        remaining,
+                        ctx,
+                        exact=options.exact_irredundant,
+                        node_limit=options.irredundant_node_limit,
+                    )
+                    best = f + essentials
+                    if checked:
+                        check_phase(ctx, "last_gasp", f, remaining)
+                if len(f) >= size_outer:
+                    converged = True
+                    break
+            ctx.record_phase("loop", len(f))
+        phases["loop"] = time.perf_counter() - t0
+        if not converged:
+            # Silent truncation would misreport a non-converged run as a
+            # minimum; surface it so report.py and the CLI can warn.
+            status = "degraded"
+            ctx.trace.append(
+                "outer loop stopped by max_outer_iterations="
+                f"{options.max_outer_iterations} before converging"
+            )
+
+        f = f + essentials
+        t0 = time.perf_counter()
+        if options.make_prime:
+            f = make_cover_dhf_prime(f, ctx)
+            best = list(f)
+            if checked:
+                check_phase(ctx, "make_prime", f, qf)
+            # Expansion to dhf-primes can (rarely) make another cube
+            # redundant; a final required-cube IRREDUNDANT pass over the
+            # full canonical set restores irredundancy and can only shrink
+            # the cover.
+            f = irredundant_cover(
+                f,
+                qf,
+                ctx,
+                exact=options.exact_irredundant,
+                node_limit=options.irredundant_node_limit,
+            )
+            best = list(f)
+            if checked:
+                check_phase(ctx, "final_irredundant", f, qf)
+        phases["make_prime"] = time.perf_counter() - t0
+        ctx.record_phase("final", len(f))
+    except BudgetExceeded as exc:
+        status = "budget_exceeded"
+        f = best
+        ctx.trace.append(f"budget-exceeded:{exc.reason}@{exc.phase or '?'}")
 
     cover = Cover(ctx.n_inputs, (), ctx.n_outputs)
     seen = set()
@@ -168,6 +262,8 @@ def espresso_hf(
         if key not in seen:
             seen.add(key)
             cover.append(c)
+    if checked:
+        check_final(ctx, instance, cover)
     return HFResult(
         cover=cover,
         essentials=essentials,
@@ -177,6 +273,8 @@ def espresso_hf(
         runtime_s=time.perf_counter() - t_start,
         phase_seconds=phases,
         counters=ctx.perf,
+        status=status,
+        trace=list(ctx.trace),
     )
 
 
@@ -191,6 +289,10 @@ def espresso_hf_per_output(
     outputs are implemented as separate PLAs, and it serves as the baseline
     for measuring the benefit of multi-output sharing
     (``benchmarks/test_output_sharing.py``).
+
+    A budget on the options is shared across the per-output sub-runs (one
+    wall-clock deadline for the whole call); the merged result's ``status``
+    is the worst of the sub-run statuses.
     """
     t_start = time.perf_counter()
     merged = {}
@@ -200,6 +302,8 @@ def espresso_hf_per_output(
     iterations = 0
     phases: dict = {}
     counters = PerfCounters()
+    status = "ok"
+    trace: List[str] = []
     for j in range(instance.n_outputs):
         sub = instance.restrict_to_output(j)
         result = espresso_hf(sub, options)
@@ -209,6 +313,9 @@ def espresso_hf_per_output(
         for phase, seconds in result.phase_seconds.items():
             phases[phase] = phases.get(phase, 0.0) + seconds
         counters.merge(result.counters)
+        if _STATUS_RANK[result.status] > _STATUS_RANK[status]:
+            status = result.status
+        trace.extend(f"out{j}/{line}" for line in result.trace)
         essentials.extend(
             Cube(instance.n_inputs, e.inbits, 1 << j, instance.n_outputs)
             for e in result.essentials
@@ -227,4 +334,6 @@ def espresso_hf_per_output(
         runtime_s=time.perf_counter() - t_start,
         phase_seconds=phases,
         counters=counters,
+        status=status,
+        trace=trace,
     )

@@ -76,6 +76,7 @@ def compute_essentials(
                 m ^= low
                 if not (sel & low):
                     continue  # covered by an essential earlier this pass
+                ctx.checkpoint("essentials")
                 pos = low.bit_length() - 1
                 memo_key = (pos, sel)
                 p = expand_memo.get(memo_key)

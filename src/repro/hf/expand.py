@@ -63,6 +63,7 @@ def expand_cover(
         for idx in order:
             if slots[idx] is None:
                 continue
+            ctx.checkpoint("expand")
             slots[idx] = expand_one(
                 slots[idx], idx, slots, reqs, ctx, sel, candidates
             )
@@ -212,6 +213,7 @@ def expand_toward_required(
     # universe position — the same order as the required list (positions
     # are assigned in registration order), so tie-breaking is unchanged.
     while True:
+        ctx.checkpoint("expand")
         uncovered = sel & ~covered_bits(cin, cout)
         if not uncovered:
             break

@@ -36,6 +36,7 @@ def irredundant_cover(
     if not reqs:
         return []
     with ctx.perf.op_timer("irredundant"):
+        ctx.checkpoint("irredundant")
         cov = ctx.coverage
         positions = cov.positions(reqs)
         sel = cov.selection_mask(reqs)

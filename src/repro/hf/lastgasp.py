@@ -55,6 +55,7 @@ def last_gasp(
             reduced.append(Cube(ctx.n_inputs, sup_in, outbits, ctx.n_outputs))
         candidates: List[Cube] = []
         for i in range(len(reduced)):
+            ctx.checkpoint("last_gasp")
             for j in range(i + 1, len(reduced)):
                 outbits = reduced[i].outbits | reduced[j].outbits
                 sup_in = ctx.supercube_dhf_bits(

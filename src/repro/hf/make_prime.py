@@ -58,6 +58,7 @@ def make_cover_dhf_prime(cubes: List[Cube], ctx: HFContext) -> List[Cube]:
         seen = set()
         out: List[Cube] = []
         for c in cubes:
+            ctx.checkpoint("make_prime")
             p = make_dhf_prime(c, ctx)
             key = (p.inbits, p.outbits)
             if key not in seen:

@@ -58,6 +58,7 @@ def reduce_cover(
         slots: List[Cube] = list(cubes)
         kept: List[bool] = [True] * len(cubes)
         for idx in order:
+            ctx.checkpoint("reduce")
             covered = masks[idx]
             unique: List[TaggedRequired] = []
             outbits = 0

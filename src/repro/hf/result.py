@@ -35,6 +35,25 @@ class HFResult:
         :class:`~repro.hf.context.HFContext` — supercube memo hit rates,
         expansion probes, MINCOV problem sizes, and per-operator wall time
         (see :class:`repro.perf.PerfCounters`).
+    status:
+        Outcome classification of the run:
+
+        ``"ok"``
+            the loop converged normally;
+        ``"degraded"``
+            the outer loop hit ``max_outer_iterations`` before converging —
+            the cover is valid and verified-equivalent to any other result,
+            but may be larger than a converged run would produce;
+        ``"budget_exceeded"``
+            a :class:`~repro.guard.budget.RunBudget` ran out mid-run and
+            the best phase-boundary snapshot was returned.
+
+        Every status yields a *valid hazard-free cover* (Theorem 2.11);
+        status is about optimality, never about correctness.
+    trace:
+        Phase trace: one line per phase boundary (``"expand:|F|=12"``) and
+        per guard event (budget exhaustion, scalar fallback), in execution
+        order.  Serialized into repro bundles on failure.
     """
 
     cover: Cover
@@ -45,6 +64,8 @@ class HFResult:
     runtime_s: float = 0.0
     phase_seconds: Dict[str, float] = field(default_factory=dict)
     counters: PerfCounters = field(default_factory=PerfCounters)
+    status: str = "ok"
+    trace: List[str] = field(default_factory=list)
 
     @property
     def num_cubes(self) -> int:
@@ -60,10 +81,16 @@ class HFResult:
     def num_essential_classes(self) -> int:
         return len(self.essentials)
 
+    @property
+    def converged(self) -> bool:
+        """True iff the run completed without degradation."""
+        return self.status == "ok"
+
     def summary(self) -> str:
         """One-line human-readable result summary."""
+        tag = "" if self.status == "ok" else f", {self.status.upper()}"
         return (
             f"{self.num_cubes} cubes ({self.num_essential_classes} essential "
             f"classes, {self.num_canonical_required} canonical required cubes, "
-            f"{self.runtime_s:.2f}s)"
+            f"{self.runtime_s:.2f}s{tag})"
         )

@@ -41,6 +41,13 @@ class PerfCounters:
     mincov_problems / mincov_rows / mincov_nodes:
         Covering problems solved by IRREDUNDANT/LAST_GASP, their total row
         count, and branch-and-bound nodes explored.
+    invariant_checks / crosscheck_divergences / scalar_fallbacks:
+        Guarded-runtime events (checked mode): phase-boundary invariant
+        checkpoints executed, scalar-vs-bitset coverage divergences caught,
+        and fallbacks to the scalar coverage path they triggered.  Any
+        nonzero divergence count on a run is a caught engine bug — the
+        result is still correct (the run continued on the scalar path) but
+        the event must be investigated.
     op_seconds:
         Wall-clock seconds per operator (``expand``, ``reduce``,
         ``irredundant``, ``last_gasp``, ``essentials``, ``make_prime``).
@@ -57,6 +64,9 @@ class PerfCounters:
     mincov_problems: int = 0
     mincov_rows: int = 0
     mincov_nodes: int = 0
+    invariant_checks: int = 0
+    crosscheck_divergences: int = 0
+    scalar_fallbacks: int = 0
     op_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
@@ -94,6 +104,9 @@ class PerfCounters:
         self.mincov_problems += other.mincov_problems
         self.mincov_rows += other.mincov_rows
         self.mincov_nodes += other.mincov_nodes
+        self.invariant_checks += other.invariant_checks
+        self.crosscheck_divergences += other.crosscheck_divergences
+        self.scalar_fallbacks += other.scalar_fallbacks
         for name, seconds in other.op_seconds.items():
             self.op_seconds[name] = self.op_seconds.get(name, 0.0) + seconds
 
@@ -111,6 +124,9 @@ class PerfCounters:
             "mincov_problems": self.mincov_problems,
             "mincov_rows": self.mincov_rows,
             "mincov_nodes": self.mincov_nodes,
+            "invariant_checks": self.invariant_checks,
+            "crosscheck_divergences": self.crosscheck_divergences,
+            "scalar_fallbacks": self.scalar_fallbacks,
             "op_seconds": {k: round(v, 6) for k, v in self.op_seconds.items()},
         }
 
@@ -127,6 +143,12 @@ class PerfCounters:
             f"mincov: {self.mincov_problems} problems, "
             f"{self.mincov_rows} rows, {self.mincov_nodes} nodes",
         ]
+        if self.invariant_checks:
+            lines.append(
+                f"checked mode: {self.invariant_checks} invariant checks, "
+                f"{self.crosscheck_divergences} cross-check divergences, "
+                f"{self.scalar_fallbacks} scalar fallbacks"
+            )
         if self.op_seconds:
             ops = ", ".join(
                 f"{name}: {seconds:.3f}s"

@@ -14,12 +14,18 @@ from typing import List, Optional, Tuple, Union
 
 from repro.cubes.cube import Cube
 from repro.cubes.cover import Cover
+from repro.guard.errors import MalformedInstance
 from repro.hazards.instance import HazardFreeInstance
 from repro.hazards.transitions import Transition
 
 
-class PlaError(ValueError):
-    """Raised on malformed PLA input."""
+class PlaError(MalformedInstance):
+    """Raised on malformed PLA input.
+
+    Subclasses :class:`~repro.guard.errors.MalformedInstance` (and thus
+    ``ValueError``), so the CLI maps it to exit code 4.  Messages carry the
+    1-based line number of the offending line whenever one exists.
+    """
 
 
 @dataclass
@@ -62,8 +68,21 @@ def parse_pla(text: str, name: str = "pla") -> PlaFile:
     pla_type = "fr"
     input_labels = None
     output_labels = None
-    rows: List[Tuple[str, str]] = []
+    rows: List[Tuple[int, str, str]] = []
     transitions: List[Transition] = []
+
+    def _count(parts: List[str], lineno: int) -> int:
+        if len(parts) != 2:
+            raise PlaError(f"line {lineno}: {parts[0]} needs one integer argument")
+        try:
+            value = int(parts[1])
+        except ValueError:
+            raise PlaError(
+                f"line {lineno}: {parts[0]} argument {parts[1]!r} is not an integer"
+            ) from None
+        if value <= 0:
+            raise PlaError(f"line {lineno}: {parts[0]} must be positive, got {value}")
+        return value
 
     for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()
@@ -73,9 +92,9 @@ def parse_pla(text: str, name: str = "pla") -> PlaFile:
             parts = line.split()
             key = parts[0]
             if key == ".i":
-                n_inputs = int(parts[1])
+                n_inputs = _count(parts, lineno)
             elif key == ".o":
-                n_outputs = int(parts[1])
+                n_outputs = _count(parts, lineno)
             elif key == ".p":
                 pass  # informational product count
             elif key == ".ilb":
@@ -83,6 +102,8 @@ def parse_pla(text: str, name: str = "pla") -> PlaFile:
             elif key == ".ob":
                 output_labels = parts[1:]
             elif key == ".type":
+                if len(parts) != 2:
+                    raise PlaError(f"line {lineno}: .type needs an argument")
                 pla_type = parts[1]
                 if pla_type not in ("f", "fd", "fr", "fdr"):
                     raise PlaError(f"line {lineno}: unsupported .type {pla_type}")
@@ -101,10 +122,13 @@ def parse_pla(text: str, name: str = "pla") -> PlaFile:
                 parts = [parts[0], "1"]
             if len(parts) != 2:
                 raise PlaError(f"line {lineno}: expected 'inputs outputs'")
-            rows.append((parts[0], parts[1]))
+            rows.append((lineno, parts[0], parts[1]))
 
     if n_inputs is None or n_outputs is None:
-        raise PlaError("missing .i or .o directive")
+        if n_inputs is None and n_outputs is None and not rows and not transitions:
+            raise PlaError(f"{name}: empty or truncated PLA (no .i/.o directive)")
+        missing = ".i" if n_inputs is None else ".o"
+        raise PlaError(f"{name}: missing {missing} directive")
     for t in transitions:
         if t.n_inputs != n_inputs:
             raise PlaError(f"transition {t} width does not match .i {n_inputs}")
@@ -114,12 +138,19 @@ def parse_pla(text: str, name: str = "pla") -> PlaFile:
     dc = Cover(n_inputs, (), n_outputs)
     off_specified = "r" in pla_type
     dc_specified = "d" in pla_type
-    for in_part, out_part in rows:
+    for lineno, in_part, out_part in rows:
         if len(in_part) != n_inputs:
-            raise PlaError(f"cube {in_part!r} width != .i {n_inputs}")
+            raise PlaError(
+                f"line {lineno}: cube {in_part!r} width != .i {n_inputs}"
+            )
         if len(out_part) != n_outputs:
-            raise PlaError(f"output part {out_part!r} width != .o {n_outputs}")
-        base = Cube.from_string(in_part, "0" * n_outputs)
+            raise PlaError(
+                f"line {lineno}: output part {out_part!r} width != .o {n_outputs}"
+            )
+        try:
+            base = Cube.from_string(in_part, "0" * n_outputs)
+        except ValueError as exc:
+            raise PlaError(f"line {lineno}: {exc}") from None
         on_bits = 0
         off_bits = 0
         dc_bits = 0
@@ -134,7 +165,7 @@ def parse_pla(text: str, name: str = "pla") -> PlaFile:
                 if dc_specified:
                     dc_bits |= 1 << j
             else:
-                raise PlaError(f"bad output character {ch!r}")
+                raise PlaError(f"line {lineno}: bad output character {ch!r}")
         if on_bits:
             on.append(base.with_outputs(on_bits))
         if off_bits:

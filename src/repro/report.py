@@ -104,14 +104,31 @@ def minimization_report(
     cover: Cover,
     baseline: Optional[Cover] = None,
     counters: Optional[PerfCounters] = None,
+    status: str = "ok",
 ) -> str:
     """Human-readable before/after report for one minimization run.
 
     With ``counters`` (an :class:`HFResult`'s ``counters`` attribute) the
     report ends with the performance-engine section: supercube memo hit
     rate, coverage-mask hit rate, probe counts, and per-operator wall time.
+
+    A non-``"ok"`` ``status`` (an :class:`HFResult`'s ``status``) prepends a
+    warning: the cover is hazard-free either way, but a degraded or
+    budget-capped run may not be locally minimal, and silently reporting it
+    as converged would misstate the result.
     """
     lines: List[str] = []
+    if status == "degraded":
+        lines.append(
+            "WARNING: run stopped at the outer-iteration cap before "
+            "converging; the cover is hazard-free but may not be locally "
+            "minimal"
+        )
+    elif status == "budget_exceeded":
+        lines.append(
+            "WARNING: run budget exhausted; reporting the best verified "
+            "intermediate cover (hazard-free, not minimized to convergence)"
+        )
     lines.extend(instance_stats(instance).lines())
     lines.extend(cover_stats(cover).lines())
     if baseline is not None:

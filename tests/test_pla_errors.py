@@ -1,0 +1,132 @@
+"""Every ``PlaError`` branch of the PLA reader, message by message.
+
+The reader promises line-numbered, one-line diagnostics for malformed
+input; these tests pin each branch so a refactor cannot silently turn a
+helpful message into a bare ``ValueError`` (or an unhandled crash) — the
+CLI maps :class:`PlaError` onto exit code 4 via the
+:class:`~repro.guard.errors.MalformedInstance` taxonomy.
+"""
+
+import pytest
+
+from repro.guard.errors import HFError, MalformedInstance
+from repro.pla.reader import PlaError, parse_pla
+
+VALID = """\
+.i 2
+.o 1
+.type fr
+11 1
+00 0
+.e
+"""
+
+
+def test_valid_baseline_parses():
+    pla = parse_pla(VALID)
+    assert pla.n_inputs == 2 and pla.n_outputs == 1
+    assert len(pla.on) == 1 and len(pla.off) == 1
+
+
+def test_plaerror_is_part_of_the_taxonomy():
+    assert issubclass(PlaError, MalformedInstance)
+    assert issubclass(PlaError, HFError)
+    assert issubclass(PlaError, ValueError)  # legacy except clauses survive
+    assert PlaError("x").exit_code == 4
+
+
+class TestDirectiveErrors:
+    def test_i_missing_argument(self):
+        with pytest.raises(PlaError, match=r"line 1: \.i needs one integer"):
+            parse_pla(".i\n.o 1\n")
+
+    def test_i_non_integer(self):
+        with pytest.raises(PlaError, match=r"line 1: \.i argument 'two'"):
+            parse_pla(".i two\n.o 1\n")
+
+    def test_i_non_positive(self):
+        with pytest.raises(PlaError, match=r"line 1: \.i must be positive, got 0"):
+            parse_pla(".i 0\n.o 1\n")
+
+    def test_o_missing_argument(self):
+        with pytest.raises(PlaError, match=r"line 2: \.o needs one integer"):
+            parse_pla(".i 2\n.o\n")
+
+    def test_o_non_integer(self):
+        with pytest.raises(PlaError, match=r"line 2: \.o argument '1.5'"):
+            parse_pla(".i 2\n.o 1.5\n")
+
+    def test_type_missing_argument(self):
+        with pytest.raises(PlaError, match=r"line 3: \.type needs an argument"):
+            parse_pla(".i 2\n.o 1\n.type\n")
+
+    def test_type_unsupported(self):
+        with pytest.raises(PlaError, match=r"line 3: unsupported \.type xyz"):
+            parse_pla(".i 2\n.o 1\n.type xyz\n")
+
+    def test_unknown_directive(self):
+        with pytest.raises(PlaError, match=r"line 3: unknown directive \.frob"):
+            parse_pla(".i 2\n.o 1\n.frob 7\n")
+
+
+class TestTransitionErrors:
+    def test_trans_wrong_arity(self):
+        with pytest.raises(PlaError, match=r"line 3: \.trans needs START END"):
+            parse_pla(".i 2\n.o 1\n.trans 00\n")
+
+    def test_trans_bad_endpoints(self):
+        with pytest.raises(PlaError, match=r"line 3: bad transition endpoints"):
+            parse_pla(".i 2\n.o 1\n.trans 0x 11\n")
+
+    def test_trans_width_mismatch(self):
+        with pytest.raises(PlaError, match=r"width does not match \.i 2"):
+            parse_pla(".i 2\n.o 1\n.trans 000 111\n")
+
+
+class TestRowErrors:
+    def test_row_wrong_field_count(self):
+        with pytest.raises(PlaError, match=r"line 4: expected 'inputs outputs'"):
+            parse_pla(".i 2\n.o 2\n.type fr\n11 10 extra\n")
+
+    def test_cube_width_mismatch(self):
+        with pytest.raises(PlaError, match=r"line 4: cube '111' width != \.i 2"):
+            parse_pla(".i 2\n.o 1\n.type fr\n111 1\n")
+
+    def test_output_width_mismatch(self):
+        with pytest.raises(
+            PlaError, match=r"line 4: output part '11' width != \.o 1"
+        ):
+            parse_pla(".i 2\n.o 1\n.type fr\n10 11\n")
+
+    def test_bad_input_literal(self):
+        with pytest.raises(PlaError, match=r"line 4: bad literal character 'x'"):
+            parse_pla(".i 2\n.o 1\n.type fr\n1x 1\n")
+
+    def test_bad_output_character(self):
+        with pytest.raises(PlaError, match=r"line 4: bad output character 'z'"):
+            parse_pla(".i 2\n.o 1\n.type fr\n11 z\n")
+
+
+class TestTruncatedInput:
+    def test_empty_file(self):
+        with pytest.raises(PlaError, match=r"empty or truncated PLA"):
+            parse_pla("")
+
+    def test_comments_only(self):
+        with pytest.raises(PlaError, match=r"empty or truncated PLA"):
+            parse_pla("# just a comment\n\n# another\n")
+
+    def test_truncated_after_i(self):
+        with pytest.raises(PlaError, match=r"missing \.o directive"):
+            parse_pla(".i 4\n")
+
+    def test_rows_without_header(self):
+        # data rows present but no .i/.o: the header is missing, not empty
+        with pytest.raises(PlaError, match=r"missing \.i directive"):
+            parse_pla("11 1\n")
+
+
+def test_to_instance_requires_off_set():
+    pla = parse_pla(".i 2\n.o 1\n.type f\n11 1\n")
+    with pytest.raises(PlaError, match=r"no OFF-set"):
+        pla.to_instance()
