@@ -107,11 +107,22 @@ def main(argv=None) -> int:
             where = f"  bundle: {row['bundle_path']}" if row.get("bundle_path") else ""
             print(f"{row['name']:18s} {status.upper():>10s}  {row['error']}{where}")
 
+    # Suite-wide per-pass wall time: each row's phase_seconds comes keyed by
+    # pipeline pass name (canonicalize, essentials, expand, reduce,
+    # irredundant, last_gasp, make_prime, ...); summing across circuits
+    # shows where the suite actually spends its time.
+    phase_totals: dict = {}
+    for row in rows:
+        for phase, seconds in row.get("phase_seconds", {}).items():
+            phase_totals[phase] = phase_totals.get(phase, 0.0) + seconds
     snapshot = {
         "suite": "espresso-hf",
         "python": sys.version.split()[0],
         "repeats": args.repeats,
         "total_time_s": round(sum(r.get("time_s", 0.0) for r in rows), 6),
+        "phase_seconds_total": {
+            k: round(v, 6) for k, v in sorted(phase_totals.items())
+        },
         "circuits": rows,
     }
     with open(args.output, "w") as fh:

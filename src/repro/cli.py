@@ -13,6 +13,8 @@ Examples::
     espresso-hf input.pla --verify            # re-verify via Theorem 2.11
     espresso-hf input.pla --checked           # phase-boundary invariants on
     espresso-hf input.pla --timeout 30        # isolated run, 30s wall cap
+    espresso-hf input.pla --jobs 4            # per-output mode, 4 workers
+    espresso-hf input.pla --pipeline essentials,loop   # skip MAKE_DHF_PRIME
 
 Exit codes (see ``docs/FAILURES.md``):
 
@@ -114,6 +116,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the final MAKE_DHF_PRIME pass",
     )
     parser.add_argument(
+        "--pipeline",
+        metavar="STAGES",
+        help="comma-separated pipeline stage list (essentials,loop,"
+        "last_gasp,make_prime); overrides the default stage sequence",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        default=1,
+        help="minimize each output independently on N parallel worker "
+        "processes (per-output mode; N=1 keeps the native multi-output "
+        "algorithm)",
+    )
+    parser.add_argument(
         "--stats", action="store_true", help="print per-phase statistics"
     )
     parser.add_argument(
@@ -133,11 +150,25 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _heuristic_options(args) -> EspressoHFOptions:
+    passes = None
+    if args.pipeline:
+        from repro.hf.espresso_hf import validate_stages
+
+        stages = tuple(
+            s.strip() for s in args.pipeline.split(",") if s.strip()
+        )
+        try:
+            passes = validate_stages(stages)
+        except ValueError as exc:
+            print(f"error: --pipeline: {exc}", file=sys.stderr)
+            raise SystemExit(EXIT_USAGE)
     return EspressoHFOptions(
         use_essentials=not args.no_essentials,
         use_last_gasp=not args.no_last_gasp,
         make_prime=not args.no_make_prime,
         checked=args.checked,
+        jobs=max(1, args.jobs),
+        passes=passes,
     )
 
 
@@ -237,6 +268,24 @@ def main(argv: Optional[List[str]] = None) -> int:
             from repro.pla.writer import format_pla
 
             cover, _row = _run_isolated(args, instance, format_pla(instance))
+        elif args.jobs > 1:
+            from repro.hf.espresso_hf import espresso_hf_per_output
+
+            result = espresso_hf_per_output(instance, _heuristic_options(args))
+            cover = result.cover
+            if result.status != "ok":
+                print(
+                    f"warning: run finished with status={result.status} "
+                    "(the cover is hazard-free but may not be locally "
+                    "minimal); see docs/FAILURES.md",
+                    file=sys.stderr,
+                )
+            if args.stats:
+                print(f"# {result.summary()}", file=sys.stderr)
+                for phase, seconds in result.phase_seconds.items():
+                    print(f"# {phase}: {seconds:.2f}s", file=sys.stderr)
+                for line in result.counters.summary_lines():
+                    print(f"# {line}", file=sys.stderr)
         else:
             from repro.guard.runner import guarded_espresso_hf
 
@@ -288,7 +337,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         counters = getattr(result, "counters", None)
         status = getattr(result, "status", "ok")
         print(
-            minimization_report(instance, cover, counters=counters, status=status),
+            minimization_report(
+                instance,
+                cover,
+                counters=counters,
+                status=status,
+                phase_seconds=getattr(result, "phase_seconds", None),
+            ),
             file=sys.stderr,
         )
 

@@ -117,3 +117,29 @@ class RunBudget:
     def _exhaust(self, reason: str, phase: str) -> None:
         self.exhausted_reason = reason
         raise BudgetExceeded(reason, phase)
+
+
+class BudgetChargeHook:
+    """Pipeline hook charging the run budget (see :mod:`repro.pipeline`).
+
+    One iteration is charged per *charged fixed-point round* — the inner
+    REDUCE/EXPAND/IRREDUNDANT rounds of the minimization loop — exactly
+    where the pre-pipeline driver called :meth:`RunBudget.charge_iteration`
+    by hand.  Cube-granularity checkpoints stay inside the operators
+    (:meth:`repro.hf.context.HFContext.checkpoint`); this hook is only the
+    loop-level accounting.  States without a budget are no-ops.
+    """
+
+    def pass_started(self, step, state) -> None:
+        pass
+
+    def pass_finished(self, step, state, seconds: float) -> None:
+        pass
+
+    def round_finished(self, fixed_point, state) -> None:
+        budget = state.budget
+        if budget is not None:
+            budget.charge_iteration(fixed_point.name)
+
+    def fixed_point_finished(self, fixed_point, state, rounds: int) -> None:
+        pass

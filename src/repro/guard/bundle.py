@@ -51,6 +51,8 @@ _OPTION_FIELDS = (
     "exact_irredundant",
     "irredundant_node_limit",
     "max_outer_iterations",
+    "jobs",
+    "passes",
 )
 
 
@@ -75,6 +77,9 @@ def options_from_dict(data: Dict[str, Any]):
     from repro.hf.espresso_hf import EspressoHFOptions
 
     kwargs = {k: v for k, v in data.items() if k in _OPTION_FIELDS}
+    if kwargs.get("passes") is not None:
+        # JSON round-trips the tuple as a list.
+        kwargs["passes"] = tuple(kwargs["passes"])
     options = EspressoHFOptions(**kwargs)
     if data.get("budget"):
         options.budget = RunBudget(**data["budget"])

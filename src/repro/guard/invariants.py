@@ -126,3 +126,37 @@ def check_final(ctx, instance, cover, phase: str = "final") -> None:
     failures = verify_hazard_free_cover(instance, cover, collect_all=False)
     if failures:
         raise InvariantViolation(phase, [str(v) for v in failures])
+
+
+class InvariantCheckHook:
+    """Pipeline hook running :func:`check_phase` after each checked pass.
+
+    Active only when the state carries a checked-mode context
+    (``state.ctx.checked``).  The step spec supplies what to verify:
+    ``check_cubes(state)`` for the cover cubes (default ``state.f``) and
+    ``check_reqs(state)`` for the required cubes they must keep covering —
+    a step without ``check_reqs`` is skipped, since the Theorem 2.11
+    conditions are only meaningful against a required-cube set.  See
+    :mod:`repro.pipeline` for the hook protocol.
+    """
+
+    def pass_started(self, step, state) -> None:
+        pass
+
+    def pass_finished(self, step, state, seconds: float) -> None:
+        ctx = state.ctx
+        if ctx is None or not getattr(ctx, "checked", False) or not step.check:
+            return
+        reqs = step.check_reqs(state) if step.check_reqs is not None else None
+        if reqs is None:
+            return
+        cubes = (
+            step.check_cubes(state) if step.check_cubes is not None else state.f
+        )
+        check_phase(ctx, step.name, cubes, reqs)
+
+    def round_finished(self, fixed_point, state) -> None:
+        pass
+
+    def fixed_point_finished(self, fixed_point, state, rounds: int) -> None:
+        pass

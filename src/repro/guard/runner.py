@@ -228,6 +228,34 @@ def pla_payload(
     }
 
 
+def per_output_payload(
+    pla_text: str,
+    name: str,
+    output: int,
+    options=None,
+    checked: bool = False,
+) -> Dict[str, Any]:
+    """Work item for one output of a per-output sweep (``--jobs`` mode).
+
+    The worker rebuilds the full instance from the PLA text, restricts it
+    to ``output``, and returns the raw sub-run result (cover cubes as
+    integer pairs, essentials, counters) so the parent can merge it
+    exactly like a serial sweep.  Verification is the parent's job — the
+    merged multi-output cover is what the caller checks.
+    """
+    return {
+        "kind": "pla",
+        "name": f"{name}[out{output}]",
+        "pla_text": pla_text,
+        "restrict_output": output,
+        "options": options_to_dict(options),
+        "checked": checked,
+        "verify": False,
+        "repeats": 1,
+        "return_raw": True,
+    }
+
+
 def _build_instance(payload: Dict[str, Any]):
     if payload["kind"] == "benchmark":
         from repro.bm.benchmarks import build_benchmark
@@ -254,6 +282,9 @@ def minimize_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
         row["status"] = "malformed"
         row["error"] = f"{type(exc).__name__}: {exc}"
         return row
+    restrict = payload.get("restrict_output")
+    if restrict is not None:
+        instance = instance.restrict_to_output(int(restrict))
     row["n_inputs"] = instance.n_inputs
     row["n_outputs"] = instance.n_outputs
     options = options_from_dict(payload.get("options", {}))
@@ -326,6 +357,13 @@ def minimize_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
         row["cover_pla"] = format_cover(
             best.cover, pla_type="f", name=f"{name} minimized"
         )
+    if payload.get("return_raw"):
+        # Raw result surface for the per-output merge: integers survive the
+        # process boundary losslessly, library objects would not.
+        row["cover_cubes"] = [[c.inbits, c.outbits] for c in best.cover]
+        row["essentials_inbits"] = [e.inbits for e in best.essentials]
+        row["num_required"] = best.num_required
+        row["iterations"] = best.iterations
     return row
 
 
@@ -437,3 +475,27 @@ def run_batch(
     rest of the batch.
     """
     return [run_one(p, timeout_s=timeout_s, bundle_dir=bundle_dir) for p in payloads]
+
+
+def run_pool(
+    payloads: List[Dict[str, Any]],
+    jobs: int,
+    bundle_dir: Optional[str] = None,
+) -> List[Dict[str, Any]]:
+    """Run work items on a pool of ``jobs`` worker processes.
+
+    The parallel counterpart of :func:`run_batch`, used by
+    :func:`repro.hf.espresso_hf_per_output` for independent per-output
+    sub-runs.  Rows come back in payload order, so the caller's merge is
+    deterministic regardless of scheduling.  With ``jobs <= 1`` (or a
+    single item) the items run in this process — identical semantics,
+    no pool overhead.
+    """
+    if bundle_dir:
+        payloads = [dict(p, bundle_dir=bundle_dir) for p in payloads]
+    jobs = min(int(jobs), len(payloads))
+    if jobs <= 1:
+        return [minimize_payload(p) for p in payloads]
+    ctx = multiprocessing.get_context()
+    with ctx.Pool(processes=jobs) as pool:
+        return pool.map(minimize_payload, payloads)

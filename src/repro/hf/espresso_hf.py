@@ -1,4 +1,4 @@
-"""The Espresso-HF driver (paper Figure 2), under the guarded runtime.
+"""The Espresso-HF driver (paper Figure 2), as a declarative pass pipeline.
 
 ::
 
@@ -20,15 +20,29 @@
         F = F ∪ E
         F = make_dhf_prime(F)
 
-The minimizer is heuristic *only in cover cardinality*: the result is always
-a hazard-free cover.  The guarded runtime (:mod:`repro.guard`) enforces that
-contract operationally:
+The algorithm is expressed as a pipeline spec executed by
+:class:`repro.pipeline.PassManager`::
+
+    canonicalize → essentials → [reduce, expand, irredundant]* →
+    last_gasp → make_prime → final_irredundant
+
+Every cross-cutting concern — per-pass timing into ``phase_seconds``,
+:class:`~repro.guard.budget.RunBudget` iteration charging, best-verified
+snapshot capture, checked-mode :func:`~repro.guard.invariants.check_phase`
+checkpoints, and trace emission — is applied by the manager's hook stack,
+not hand-threaded through the driver.  :func:`build_hf_pipeline` builds the
+spec from the options; ``EspressoHFOptions.passes`` (CLI ``--pipeline``)
+skips or reorders the optional stages.
+
+The minimizer is heuristic *only in cover cardinality*: the result is
+always a hazard-free cover.  The guarded runtime (:mod:`repro.guard`)
+enforces that contract operationally:
 
 * a :class:`~repro.guard.budget.RunBudget` on the options bounds the run;
   once the canonical cover exists, budget exhaustion returns the best
   phase-boundary snapshot with ``status="budget_exceeded"`` instead of
   hanging or raising — every snapshot is a valid hazard-free cover by
-  construction (the canonical cubes cover everything, and every operator
+  construction (the canonical cubes cover everything, and every pass
   preserves coverage and dhf-implicant validity);
 * ``checked=True`` asserts the Theorem 2.11 conditions at every phase
   boundary and cross-checks the coverage-bitset engine against the scalar
@@ -42,26 +56,43 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.cubes.cube import Cube
 from repro.cubes.cover import Cover
 from repro.guard.budget import RunBudget
-from repro.guard.errors import BudgetExceeded, NoSolutionError
-from repro.guard.invariants import check_final, check_phase
+from repro.guard.errors import (
+    InvariantViolation,
+    MalformedInstance,
+    NoSolutionError,
+)
+from repro.guard.invariants import check_final
 from repro.hazards.instance import HazardFreeInstance
 from repro.hf.context import HFContext, TaggedRequired
-from repro.hf.essentials import compute_essentials
-from repro.hf.expand import expand_cover
-from repro.hf.irredundant import irredundant_cover
-from repro.hf.lastgasp import last_gasp
-from repro.hf.make_prime import make_cover_dhf_prime
-from repro.hf.reduce_ import reduce_cover
+from repro.hf.essentials import EssentialsPass
+from repro.hf.expand import ExpandPass
+from repro.hf.irredundant import IrredundantPass
+from repro.hf.lastgasp import LastGaspPass
+from repro.hf.make_prime import MakePrimePass
+from repro.hf.reduce_ import ReducePass
 from repro.hf.result import HFResult
 from repro.perf import PerfCounters
+from repro.pipeline import (
+    FixedPoint,
+    Group,
+    PassManager,
+    PipelineState,
+    Step,
+)
 
 #: status severity order for merging per-output results
 _STATUS_RANK = {"ok": 0, "degraded": 1, "budget_exceeded": 2}
+
+#: stage names ``EspressoHFOptions.passes`` / CLI ``--pipeline`` accepts
+HF_STAGES = ("essentials", "loop", "last_gasp", "make_prime")
+
+#: the paper's Figure 2 stage order
+DEFAULT_HF_STAGES = ("essentials", "loop", "make_prime")
 
 
 @dataclass
@@ -72,6 +103,16 @@ class EspressoHFOptions:
     IRREDUNDANT (the paper notes either mode works; the tables are small
     because rows are required cubes, not minterms).  ``make_prime`` controls
     the final MAKE_DHF_PRIME pass.
+
+    ``passes`` overrides the default pipeline stage sequence (see
+    :data:`HF_STAGES`; ``None`` = the paper's default).  Stages may be
+    omitted or reordered; ``make_prime``, when present, must come last.
+
+    ``jobs`` sets the worker-process count for
+    :func:`espresso_hf_per_output`: with ``jobs > 1`` the independent
+    per-output sub-runs execute in parallel on the guard runner's worker
+    pool.  Plain :func:`espresso_hf` is natively multi-output and ignores
+    it.
 
     ``budget`` attaches a :class:`~repro.guard.budget.RunBudget`; the run
     then degrades gracefully (``HFResult.status``) instead of running
@@ -89,9 +130,230 @@ class EspressoHFOptions:
     exact_irredundant: bool = True
     irredundant_node_limit: Optional[int] = 200_000
     max_outer_iterations: int = 20
+    jobs: int = 1
+    passes: Optional[Tuple[str, ...]] = None
     budget: Optional[RunBudget] = None
     checked: bool = False
     coverage_fault_hook: Optional[Callable[[int, int, int], int]] = None
+
+
+# ----------------------------------------------------------------------
+# Pipeline state and the driver-level passes
+# ----------------------------------------------------------------------
+
+
+class HFState(PipelineState):
+    """Pipeline state of one Espresso-HF run.
+
+    ``f`` is the working cover, ``essentials`` the pending essential-class
+    representatives not yet merged back into ``f`` (the merge is itself a
+    pass), ``essential_classes`` the computed classes as reported on
+    :class:`~repro.hf.result.HFResult` regardless of later degradation.
+    ``trace`` aliases ``HFContext.trace`` so pass-boundary lines and guard
+    events (scalar fallback, budget exhaustion) interleave in execution
+    order.
+    """
+
+    def __init__(
+        self,
+        instance: HazardFreeInstance,
+        options: EspressoHFOptions,
+        ctx: HFContext,
+    ):
+        super().__init__()
+        self.instance = instance
+        self.options = options
+        self.ctx = ctx
+        self.trace = ctx.trace
+        self.qf: List[TaggedRequired] = []
+        self.remaining: List[TaggedRequired] = []
+        self.f: List[Cube] = []
+        self.essentials: List[Cube] = []
+        self.essential_classes: List[Cube] = []
+        self.num_required = 0
+
+    def snapshot_cubes(self) -> List[Cube]:
+        return list(self.f) + list(self.essentials)
+
+    def cover_size(self) -> int:
+        return len(self.f) + len(self.essentials)
+
+    def measure(self) -> int:
+        return len(self.f)
+
+    def on_budget_exceeded(self, exc) -> None:
+        self.f = list(self.best)
+        self.essentials = []
+
+
+class CanonicalizePass:
+    """dhf-canonicalization (paper §3.2): build ``Q_f`` and the seed cover.
+
+    Raises :class:`NoSolutionError` when some required cube has no
+    dhf-supercube (Theorem 4.1).  An instance with no required cubes stops
+    the pipeline with an empty cover.  On success the canonical cubes form
+    the first valid hazard-free cover, so the snapshot hook arms budget
+    degradation from here on.
+    """
+
+    name = "canonicalize"
+
+    def run(self, state: HFState):
+        ctx = state.ctx
+        instance = state.instance
+        state.num_required = len(instance.required_cubes())
+        qf = ctx.canonical_required()
+        if qf is None:
+            raise NoSolutionError(
+                f"{instance.name}: some required cube has no dhf-supercube "
+                "(Theorem 4.1: no hazard-free cover exists)"
+            )
+        state.qf = qf
+        state.remaining = list(qf)
+        state.f = [ctx.cube_for(q) for q in qf]
+        if not qf:
+            state.stop = True
+            state.stopped_early = True
+        return state
+
+
+class MergeEssentialsPass:
+    """``F = F ∪ E``: fold the pending essentials back into the cover."""
+
+    name = "merge_essentials"
+
+    def run(self, state: HFState):
+        state.f = list(state.f) + list(state.essentials)
+        state.essentials = []
+        return state
+
+
+# ----------------------------------------------------------------------
+# The declarative pipeline spec
+# ----------------------------------------------------------------------
+
+
+def _remaining(state: HFState) -> Sequence[TaggedRequired]:
+    return state.remaining
+
+
+def _qf(state: HFState) -> Sequence[TaggedRequired]:
+    return state.qf
+
+
+def _have_cover(state: HFState) -> bool:
+    return bool(state.f)
+
+
+def validate_stages(stages: Sequence[str]) -> Tuple[str, ...]:
+    """Check a ``--pipeline`` stage sequence; returns it as a tuple.
+
+    Stage names must come from :data:`HF_STAGES`, appear at most once, and
+    ``make_prime`` (which re-establishes dhf-primeness over the *full*
+    canonical required set) must be last when present.
+    """
+    stages = tuple(stages)
+    unknown = [s for s in stages if s not in HF_STAGES]
+    if unknown:
+        raise ValueError(
+            f"unknown pipeline stage(s) {', '.join(unknown)}; "
+            f"valid stages: {', '.join(HF_STAGES)}"
+        )
+    if len(set(stages)) != len(stages):
+        raise ValueError("pipeline stages may appear at most once")
+    if "make_prime" in stages and stages[-1] != "make_prime":
+        raise ValueError("the make_prime stage must be last")
+    return stages
+
+
+def _loop_stage(options: EspressoHFOptions) -> Group:
+    """The minimization loop: initial EXPAND/IRREDUNDANT, then the nested
+    fixed points — ``[reduce, expand, irredundant]*`` charged per round,
+    LAST_GASP per outer round, outer convergence tracked for the
+    ``degraded`` status."""
+    inner = FixedPoint(
+        "loop",
+        body=(
+            Step(ReducePass(), check_reqs=_remaining),
+            Step(ExpandPass(), check_reqs=_remaining),
+            Step(IrredundantPass(), check_reqs=_remaining),
+        ),
+        charge=True,
+    )
+    outer = FixedPoint(
+        "outer",
+        body=(
+            inner,
+            Step(
+                LastGaspPass(),
+                check_reqs=_remaining,
+                enabled=lambda s: s.options.use_last_gasp,
+            ),
+        ),
+        max_rounds=options.max_outer_iterations,
+        track_convergence=True,
+        exhausted_message=(
+            "outer loop stopped by max_outer_iterations="
+            f"{options.max_outer_iterations} before converging"
+        ),
+    )
+    return Group(
+        "minimize",
+        enabled=_have_cover,
+        body=(
+            Step(ExpandPass(), check_reqs=_remaining),
+            Step(IrredundantPass(), check_reqs=_remaining),
+            outer,
+        ),
+    )
+
+
+def build_hf_pipeline(options: EspressoHFOptions) -> Tuple:
+    """Build the Espresso-HF pipeline spec from the options.
+
+    The default is the paper's Figure 2 sequence; ``options.passes``
+    substitutes an explicit stage order (see :func:`validate_stages`).
+    Canonicalization always runs first and the pending essentials are
+    always merged back before MAKE_DHF_PRIME / the end of the pipeline,
+    whatever the stage selection.
+    """
+    if options.passes is not None:
+        stages = validate_stages(options.passes)
+    else:
+        stages = tuple(
+            s
+            for s in DEFAULT_HF_STAGES
+            if s != "make_prime" or options.make_prime
+        )
+    steps: List = [Step(CanonicalizePass(), check=False)]
+    for stage in stages:
+        if stage == "essentials":
+            steps.append(
+                Step(
+                    EssentialsPass(),
+                    check_cubes=lambda s: list(s.f) + list(s.essentials),
+                    check_reqs=_qf,
+                )
+            )
+        elif stage == "loop":
+            steps.append(_loop_stage(options))
+        elif stage == "last_gasp":
+            steps.append(
+                Step(LastGaspPass(), check_reqs=_remaining, enabled=_have_cover)
+            )
+    steps.append(Step(MergeEssentialsPass(), record=False, check=False))
+    if "make_prime" in stages:
+        # Expansion to dhf-primes can (rarely) make another cube redundant;
+        # the final required-cube IRREDUNDANT pass over the full canonical
+        # set restores irredundancy and can only shrink the cover.
+        steps.append(Step(MakePrimePass(), check_reqs=_qf))
+        steps.append(Step(IrredundantPass(final=True), check_reqs=_qf))
+    return tuple(steps)
+
+
+# ----------------------------------------------------------------------
+# Drivers
+# ----------------------------------------------------------------------
 
 
 def espresso_hf(
@@ -107,174 +369,33 @@ def espresso_hf(
     """
     options = options or EspressoHFOptions()
     t_start = time.perf_counter()
-    phases = {}
-    checked = options.checked
-    ctx = HFContext(instance, budget=options.budget, checked=checked)
+    ctx = HFContext(instance, budget=options.budget, checked=options.checked)
     if options.coverage_fault_hook is not None:
         ctx.coverage.fault_hook = options.coverage_fault_hook
 
-    t0 = time.perf_counter()
-    qf = ctx.canonical_required()
-    phases["canonicalize"] = time.perf_counter() - t0
-    if qf is None:
-        raise NoSolutionError(
-            f"{instance.name}: some required cube has no dhf-supercube "
-            "(Theorem 4.1: no hazard-free cover exists)"
-        )
-    num_required = len(instance.required_cubes())
-    ctx.record_phase("canonicalize", len(qf))
-
-    if not qf:
-        return HFResult(
-            cover=Cover(ctx.n_inputs, (), ctx.n_outputs),
-            num_required=num_required,
-            num_canonical_required=0,
-            runtime_s=time.perf_counter() - t_start,
-            phase_seconds=phases,
-            counters=ctx.perf,
-            trace=list(ctx.trace),
-        )
-
-    # From here on a valid hazard-free cover always exists — the canonical
-    # required cubes themselves — so budget exhaustion never raises past
-    # this point: the newest phase-boundary snapshot is returned instead.
-    best: List[Cube] = [ctx.cube_for(q) for q in qf]
-    essentials: List[Cube] = []
-    remaining: List[TaggedRequired] = list(qf)
-    status = "ok"
-    iterations = 0
-    f: List[Cube] = []
-    try:
-        t0 = time.perf_counter()
-        if options.use_essentials:
-            essentials, remaining = compute_essentials(ctx, qf)
-        phases["essentials"] = time.perf_counter() - t0
-        f = [ctx.cube_for(q) for q in remaining]
-        best = f + essentials
-        ctx.record_phase("essentials", len(best))
-        if checked:
-            check_phase(ctx, "essentials", f + essentials, qf)
-
-        t0 = time.perf_counter()
-        converged = True
-        if f:
-            f = expand_cover(f, remaining, ctx)
-            best = f + essentials
-            if checked:
-                check_phase(ctx, "expand", f, remaining)
-            f = irredundant_cover(
-                f,
-                remaining,
-                ctx,
-                exact=options.exact_irredundant,
-                node_limit=options.irredundant_node_limit,
-            )
-            best = f + essentials
-            if checked:
-                check_phase(ctx, "irredundant", f, remaining)
-            ctx.record_phase("initial", len(f))
-            # Convergence must be demonstrated by a non-shrinking pass; a
-            # cap of 0 (or running out of passes) means it never was.
-            converged = False
-            for _ in range(options.max_outer_iterations):
-                converged = False
-                size_outer = len(f)
-                while True:
-                    size_inner = len(f)
-                    f = reduce_cover(f, remaining, ctx)
-                    if checked:
-                        check_phase(ctx, "reduce", f, remaining)
-                    f = expand_cover(f, remaining, ctx)
-                    if checked:
-                        check_phase(ctx, "expand", f, remaining)
-                    f = irredundant_cover(
-                        f,
-                        remaining,
-                        ctx,
-                        exact=options.exact_irredundant,
-                        node_limit=options.irredundant_node_limit,
-                    )
-                    best = f + essentials
-                    if checked:
-                        check_phase(ctx, "irredundant", f, remaining)
-                    iterations += 1
-                    if ctx.budget is not None:
-                        ctx.budget.charge_iteration()
-                    if len(f) >= size_inner:
-                        break
-                if options.use_last_gasp:
-                    f = last_gasp(
-                        f,
-                        remaining,
-                        ctx,
-                        exact=options.exact_irredundant,
-                        node_limit=options.irredundant_node_limit,
-                    )
-                    best = f + essentials
-                    if checked:
-                        check_phase(ctx, "last_gasp", f, remaining)
-                if len(f) >= size_outer:
-                    converged = True
-                    break
-            ctx.record_phase("loop", len(f))
-        phases["loop"] = time.perf_counter() - t0
-        if not converged:
-            # Silent truncation would misreport a non-converged run as a
-            # minimum; surface it so report.py and the CLI can warn.
-            status = "degraded"
-            ctx.trace.append(
-                "outer loop stopped by max_outer_iterations="
-                f"{options.max_outer_iterations} before converging"
-            )
-
-        f = f + essentials
-        t0 = time.perf_counter()
-        if options.make_prime:
-            f = make_cover_dhf_prime(f, ctx)
-            best = list(f)
-            if checked:
-                check_phase(ctx, "make_prime", f, qf)
-            # Expansion to dhf-primes can (rarely) make another cube
-            # redundant; a final required-cube IRREDUNDANT pass over the
-            # full canonical set restores irredundancy and can only shrink
-            # the cover.
-            f = irredundant_cover(
-                f,
-                qf,
-                ctx,
-                exact=options.exact_irredundant,
-                node_limit=options.irredundant_node_limit,
-            )
-            best = list(f)
-            if checked:
-                check_phase(ctx, "final_irredundant", f, qf)
-        phases["make_prime"] = time.perf_counter() - t0
-        ctx.record_phase("final", len(f))
-    except BudgetExceeded as exc:
-        status = "budget_exceeded"
-        f = best
-        ctx.trace.append(f"budget-exceeded:{exc.reason}@{exc.phase or '?'}")
+    state = HFState(instance, options, ctx)
+    PassManager().run(build_hf_pipeline(options), state)
 
     cover = Cover(ctx.n_inputs, (), ctx.n_outputs)
     seen = set()
-    for c in f:
+    for c in list(state.f) + list(state.essentials):
         key = (c.inbits, c.outbits)
         if key not in seen:
             seen.add(key)
             cover.append(c)
-    if checked:
+    if options.checked and not state.stopped_early:
         check_final(ctx, instance, cover)
     return HFResult(
         cover=cover,
-        essentials=essentials,
-        num_required=num_required,
-        num_canonical_required=len(qf),
-        iterations=iterations,
+        essentials=state.essential_classes,
+        num_required=state.num_required,
+        num_canonical_required=len(state.qf),
+        iterations=state.iterations,
         runtime_s=time.perf_counter() - t_start,
-        phase_seconds=phases,
+        phase_seconds=state.phase_seconds,
         counters=ctx.perf,
-        status=status,
-        trace=list(ctx.trace),
+        status=state.status,
+        trace=list(state.trace),
     )
 
 
@@ -290,11 +411,43 @@ def espresso_hf_per_output(
     for measuring the benefit of multi-output sharing
     (``benchmarks/test_output_sharing.py``).
 
-    A budget on the options is shared across the per-output sub-runs (one
-    wall-clock deadline for the whole call); the merged result's ``status``
-    is the worst of the sub-run statuses.
+    With ``options.jobs > 1`` the independent sub-runs execute in parallel
+    worker processes on the guard runner
+    (:func:`repro.guard.runner.run_pool`); results merge identically to
+    the serial sweep.  A budget then applies *per worker* (each process
+    rebuilds the budget from its configuration; a wall-clock cap bounds
+    each concurrently-running sub-run).  In serial mode a budget on the
+    options is shared statefully across the per-output sub-runs — one
+    deadline for the whole call.  Either way the merged result's
+    ``status`` is the worst of the sub-run statuses.
     """
+    options = options or EspressoHFOptions()
     t_start = time.perf_counter()
+    jobs = max(1, int(options.jobs or 1))
+    if jobs > 1 and instance.n_outputs > 1:
+        results = _per_output_results_parallel(instance, options, jobs)
+    else:
+        results = [
+            espresso_hf(instance.restrict_to_output(j), options)
+            for j in range(instance.n_outputs)
+        ]
+    return merge_output_results(instance, results, t_start=t_start)
+
+
+def merge_output_results(
+    instance: HazardFreeInstance,
+    results: Sequence[HFResult],
+    t_start: Optional[float] = None,
+) -> HFResult:
+    """Merge per-output sub-run results into one multi-output result.
+
+    Cubes with identical input parts are merged across outputs; statuses
+    merge worst-of (``ok`` < ``degraded`` < ``budget_exceeded``); counters,
+    phase timings, iteration counts, and problem sizes are summed; trace
+    lines are prefixed with their output index.  Used by both the serial
+    and the parallel per-output sweep, so the two modes are
+    merge-identical by construction.
+    """
     merged = {}
     essentials: List[Cube] = []
     num_required = 0
@@ -304,9 +457,7 @@ def espresso_hf_per_output(
     counters = PerfCounters()
     status = "ok"
     trace: List[str] = []
-    for j in range(instance.n_outputs):
-        sub = instance.restrict_to_output(j)
-        result = espresso_hf(sub, options)
+    for j, result in enumerate(results):
         num_required += result.num_required
         num_canonical += result.num_canonical_required
         iterations += result.iterations
@@ -325,15 +476,69 @@ def espresso_hf_per_output(
     cover = Cover(instance.n_inputs, (), instance.n_outputs)
     for inbits, outbits in sorted(merged.items()):
         cover.append(Cube(instance.n_inputs, inbits, outbits, instance.n_outputs))
+    runtime = time.perf_counter() - t_start if t_start is not None else 0.0
     return HFResult(
         cover=cover,
         essentials=essentials,
         num_required=num_required,
         num_canonical_required=num_canonical,
         iterations=iterations,
-        runtime_s=time.perf_counter() - t_start,
+        runtime_s=runtime,
         phase_seconds=phases,
         counters=counters,
         status=status,
         trace=trace,
+    )
+
+
+def _per_output_results_parallel(
+    instance: HazardFreeInstance, options: EspressoHFOptions, jobs: int
+) -> List[HFResult]:
+    """Run the per-output sub-runs on the guard runner's worker pool."""
+    from repro.guard.runner import per_output_payload, run_pool
+    from repro.pla.writer import format_pla
+
+    pla_text = format_pla(instance)
+    payloads = [
+        per_output_payload(pla_text, instance.name, j, options)
+        for j in range(instance.n_outputs)
+    ]
+    rows = run_pool(payloads, jobs=jobs)
+    return [_result_from_row(instance, row) for row in rows]
+
+
+def _result_from_row(instance: HazardFreeInstance, row: dict) -> HFResult:
+    """Rebuild one per-output sub-run's :class:`HFResult` from a runner row.
+
+    Failure rows re-raise the same exception the serial sweep would have
+    propagated, so the two modes are behaviour-identical at the call site.
+    """
+    status = row["status"]
+    if status == "no_solution":
+        raise NoSolutionError(row.get("error") or row.get("name", "per-output"))
+    if status == "malformed":
+        raise MalformedInstance(row.get("error") or row.get("name", "per-output"))
+    if status == "invariant_violation":
+        raise InvariantViolation(
+            "final", [row.get("error") or row.get("name", "per-output")]
+        )
+    if status not in _STATUS_RANK:
+        raise RuntimeError(
+            f"per-output worker failed ({status}): {row.get('error')}"
+        )
+    n = instance.n_inputs
+    cover = Cover(n, (), 1)
+    for inbits, outbits in row["cover_cubes"]:
+        cover.append(Cube(n, inbits, outbits, 1))
+    return HFResult(
+        cover=cover,
+        essentials=[Cube(n, b, 1, 1) for b in row["essentials_inbits"]],
+        num_required=row["num_required"],
+        num_canonical_required=row["num_canonical_required"],
+        iterations=row["iterations"],
+        runtime_s=row.get("time_s", 0.0),
+        phase_seconds=dict(row.get("phase_seconds", {})),
+        counters=PerfCounters.from_dict(row.get("counters", {})),
+        status=status,
+        trace=list(row.get("trace", [])),
     )

@@ -140,3 +140,23 @@ def compute_essentials(
                     progress = True
         remaining = cov.covered_subset(sel, reqs)
         return essentials, remaining
+
+
+class EssentialsPass:
+    """Essential-class detection as a pipeline pass.
+
+    Always present in the default spec so phase timing and the trace keep
+    one uniform shape; with ``use_essentials=False`` it degenerates to
+    rebuilding the working cover from the full canonical required set.
+    """
+
+    name = "essentials"
+
+    def run(self, state):
+        ctx = state.ctx
+        if state.options.use_essentials:
+            essentials, state.remaining = compute_essentials(ctx, state.qf)
+            state.essentials = essentials
+            state.essential_classes = list(essentials)
+        state.f = [ctx.cube_for(q) for q in state.remaining]
+        return state

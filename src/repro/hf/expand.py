@@ -247,3 +247,13 @@ def expand_toward_required(
     if cin == cube.inbits and cout == cube.outbits:
         return cube
     return Cube(ctx.n_inputs, cin, cout, ctx.n_outputs)
+
+
+class ExpandPass:
+    """EXPAND as a pipeline pass (see :mod:`repro.pipeline`)."""
+
+    name = "expand"
+
+    def run(self, state):
+        state.f = expand_cover(state.f, state.remaining, state.ctx)
+        return state

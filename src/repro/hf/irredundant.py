@@ -78,3 +78,30 @@ def irredundant_cover(
         perf.mincov_nodes += stats.get("nodes", 0)
         assert chosen is not None
         return [cubes[j] for j in sorted(chosen)]
+
+
+class IrredundantPass:
+    """IRREDUNDANT as a pipeline pass (see :mod:`repro.pipeline`).
+
+    ``final=True`` is the post-MAKE_DHF_PRIME pass: it restores
+    irredundancy over the *full* canonical required set (``state.qf``),
+    essentials included, instead of the still-uncovered ``state.remaining``.
+    """
+
+    name = "irredundant"
+
+    def __init__(self, final: bool = False):
+        self.final = final
+        if final:
+            self.name = "final_irredundant"
+
+    def run(self, state):
+        options = state.options
+        state.f = irredundant_cover(
+            state.f,
+            state.qf if self.final else state.remaining,
+            state.ctx,
+            exact=options.exact_irredundant,
+            node_limit=options.irredundant_node_limit,
+        )
+        return state

@@ -78,3 +78,20 @@ def last_gasp(
             pool, reqs, ctx, exact=exact, node_limit=node_limit
         )
         return trial if len(trial) < len(cubes) else cubes
+
+
+class LastGaspPass:
+    """LAST_GASP as a pipeline pass (see :mod:`repro.pipeline`)."""
+
+    name = "last_gasp"
+
+    def run(self, state):
+        options = state.options
+        state.f = last_gasp(
+            state.f,
+            state.remaining,
+            state.ctx,
+            exact=options.exact_irredundant,
+            node_limit=options.irredundant_node_limit,
+        )
+        return state

@@ -65,3 +65,13 @@ def make_cover_dhf_prime(cubes: List[Cube], ctx: HFContext) -> List[Cube]:
                 seen.add(key)
                 out.append(p)
         return out
+
+
+class MakePrimePass:
+    """MAKE_DHF_PRIME as a pipeline pass (see :mod:`repro.pipeline`)."""
+
+    name = "make_prime"
+
+    def run(self, state):
+        state.f = make_cover_dhf_prime(state.f, state.ctx)
+        return state

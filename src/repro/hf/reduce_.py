@@ -94,3 +94,13 @@ def reduce_cover(
                 counts[low.bit_length() - 1] -= 1
                 dropped ^= low
         return [c for i, c in enumerate(slots) if kept[i]]
+
+
+class ReducePass:
+    """REDUCE as a pipeline pass (see :mod:`repro.pipeline`)."""
+
+    name = "reduce"
+
+    def run(self, state):
+        state.f = reduce_cover(state.f, state.remaining, state.ctx)
+        return state

@@ -41,6 +41,10 @@ class PerfCounters:
     mincov_problems / mincov_rows / mincov_nodes:
         Covering problems solved by IRREDUNDANT/LAST_GASP, their total row
         count, and branch-and-bound nodes explored.
+    passes_executed:
+        Pipeline passes executed by the
+        :class:`~repro.pipeline.manager.PassManager` (dynamic count, loop
+        repetitions included).
     invariant_checks / crosscheck_divergences / scalar_fallbacks:
         Guarded-runtime events (checked mode): phase-boundary invariant
         checkpoints executed, scalar-vs-bitset coverage divergences caught,
@@ -64,6 +68,7 @@ class PerfCounters:
     mincov_problems: int = 0
     mincov_rows: int = 0
     mincov_nodes: int = 0
+    passes_executed: int = 0
     invariant_checks: int = 0
     crosscheck_divergences: int = 0
     scalar_fallbacks: int = 0
@@ -104,6 +109,7 @@ class PerfCounters:
         self.mincov_problems += other.mincov_problems
         self.mincov_rows += other.mincov_rows
         self.mincov_nodes += other.mincov_nodes
+        self.passes_executed += other.passes_executed
         self.invariant_checks += other.invariant_checks
         self.crosscheck_divergences += other.crosscheck_divergences
         self.scalar_fallbacks += other.scalar_fallbacks
@@ -124,11 +130,42 @@ class PerfCounters:
             "mincov_problems": self.mincov_problems,
             "mincov_rows": self.mincov_rows,
             "mincov_nodes": self.mincov_nodes,
+            "passes_executed": self.passes_executed,
             "invariant_checks": self.invariant_checks,
             "crosscheck_divergences": self.crosscheck_divergences,
             "scalar_fallbacks": self.scalar_fallbacks,
             "op_seconds": {k: round(v, 6) for k, v in self.op_seconds.items()},
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "PerfCounters":
+        """Rebuild counters from an :meth:`as_dict` snapshot.
+
+        Derived rates are recomputed, not read back; unknown keys are
+        ignored so old snapshots stay loadable.
+        """
+        counters = cls()
+        for name in (
+            "supercube_calls",
+            "supercube_cache_hits",
+            "supercube_chain_cached",
+            "expand_probes",
+            "coverage_masks_built",
+            "coverage_mask_hits",
+            "mincov_problems",
+            "mincov_rows",
+            "mincov_nodes",
+            "passes_executed",
+            "invariant_checks",
+            "crosscheck_divergences",
+            "scalar_fallbacks",
+        ):
+            if name in data:
+                setattr(counters, name, int(data[name]))
+        op_seconds = data.get("op_seconds")
+        if isinstance(op_seconds, dict):
+            counters.op_seconds = {k: float(v) for k, v in op_seconds.items()}
+        return counters
 
     def summary_lines(self) -> List[str]:
         """Human-readable counter report (``report.py`` / CLI ``--stats``)."""

@@ -1,0 +1,94 @@
+"""Stock cross-cutting hooks applied by the :class:`PassManager`.
+
+A hook observes pipeline execution through four events; every method has a
+no-op default so hooks implement only what they need:
+
+``pass_started(step, state)``
+    before a pass body runs;
+``pass_finished(step, state, seconds)``
+    after a pass body returned (``seconds`` is its wall time);
+``round_finished(fixed_point, state)``
+    after each *charged* round of a :class:`~repro.pipeline.base.FixedPoint`;
+``fixed_point_finished(fixed_point, state, rounds)``
+    after a fixed point exits.
+
+The hooks here are engine-agnostic (timing, snapshots, trace).  The
+guarded-runtime hooks — budget charging and checked-mode invariants — live
+with the policies they apply: :class:`repro.guard.budget.BudgetChargeHook`
+and :class:`repro.guard.invariants.InvariantCheckHook`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.pipeline.base import FixedPoint, Step
+
+
+class Hook:
+    """Base class: all events default to no-ops."""
+
+    def pass_started(self, step: Step, state: Any) -> None:
+        pass
+
+    def pass_finished(self, step: Step, state: Any, seconds: float) -> None:
+        pass
+
+    def round_finished(self, fixed_point: FixedPoint, state: Any) -> None:
+        pass
+
+    def fixed_point_finished(
+        self, fixed_point: FixedPoint, state: Any, rounds: int
+    ) -> None:
+        pass
+
+
+class TimingHook(Hook):
+    """Accumulate per-pass wall time into ``state.phase_seconds``.
+
+    Also maintains ``state.executed_passes`` (the dynamic pass sequence,
+    asserted by the golden-pipeline test) and the ``passes_executed``
+    counter on the context's :class:`~repro.perf.PerfCounters` when one is
+    attached.
+    """
+
+    def pass_finished(self, step: Step, state: Any, seconds: float) -> None:
+        name = step.name
+        state.phase_seconds[name] = state.phase_seconds.get(name, 0.0) + seconds
+        state.executed_passes.append(name)
+        perf = getattr(state.ctx, "perf", None) if state.ctx is not None else None
+        if perf is not None:
+            perf.passes_executed += 1
+
+
+class SnapshotHook(Hook):
+    """Capture the best-verified cover snapshot after each pass.
+
+    Every operator of both minimizers preserves cover validity, so the
+    state after any pass is a safe point to degrade to when the budget
+    runs out mid-phase later on.  States that return ``None`` from
+    ``snapshot_cubes`` (e.g. the Espresso-II baseline, which has no guard
+    runtime) opt out.
+    """
+
+    def pass_finished(self, step: Step, state: Any, seconds: float) -> None:
+        if not step.snapshot:
+            return
+        snap = state.snapshot_cubes()
+        if snap is not None:
+            state.best = snap
+
+
+class TraceHook(Hook):
+    """Emit one phase-trace line per recorded pass and fixed point."""
+
+    def pass_finished(self, step: Step, state: Any, seconds: float) -> None:
+        if step.record:
+            state.record_pass(step.name)
+
+    def fixed_point_finished(
+        self, fixed_point: FixedPoint, state: Any, rounds: int
+    ) -> None:
+        state.trace.append(
+            f"{fixed_point.name}:rounds={rounds}:|F|={state.cover_size()}"
+        )

@@ -99,18 +99,42 @@ def cover_stats(cover: Cover) -> CoverStats:
     )
 
 
+def phase_table(phase_seconds: Dict[str, float]) -> List[str]:
+    """Per-pass timing table, slowest pass first.
+
+    ``phase_seconds`` is an :class:`HFResult`'s per-pass wall-time
+    breakdown, keyed by pipeline pass name (accumulated over loop
+    repetitions by the manager's timing hook).
+    """
+    if not phase_seconds:
+        return []
+    total = sum(phase_seconds.values())
+    width = max(len(name) for name in phase_seconds)
+    lines = ["per-pass wall time:"]
+    for name, seconds in sorted(
+        phase_seconds.items(), key=lambda kv: kv[1], reverse=True
+    ):
+        share = 100.0 * seconds / total if total else 0.0
+        lines.append(f"  {name:<{width}}  {seconds:9.4f}s  {share:5.1f}%")
+    lines.append(f"  {'total':<{width}}  {total:9.4f}s")
+    return lines
+
+
 def minimization_report(
     instance: HazardFreeInstance,
     cover: Cover,
     baseline: Optional[Cover] = None,
     counters: Optional[PerfCounters] = None,
     status: str = "ok",
+    phase_seconds: Optional[Dict[str, float]] = None,
 ) -> str:
     """Human-readable before/after report for one minimization run.
 
     With ``counters`` (an :class:`HFResult`'s ``counters`` attribute) the
     report ends with the performance-engine section: supercube memo hit
     rate, coverage-mask hit rate, probe counts, and per-operator wall time.
+    With ``phase_seconds`` it also includes the pipeline's per-pass timing
+    table (:func:`phase_table`).
 
     A non-``"ok"`` ``status`` (an :class:`HFResult`'s ``status``) prepends a
     warning: the cover is hazard-free either way, but a degraded or
@@ -138,6 +162,8 @@ def minimization_report(
             f"  vs baseline: {base.n_cubes} -> {ours.n_cubes} products, "
             f"area {base.pla_area} -> {ours.pla_area}"
         )
+    if phase_seconds:
+        lines.extend(phase_table(phase_seconds))
     if counters is not None:
         lines.append("performance counters:")
         lines.extend(f"  {line}" for line in counters.summary_lines())

@@ -83,6 +83,24 @@ class TestCli:
         assert main([fig3_pla, "--no-essentials", "--no-last-gasp",
                      "--no-make-prime", "--stats", "--verify"]) == EXIT_OK
 
+    def test_pipeline_flag_selects_stages(self, fig3_pla, capsys):
+        assert main(
+            [fig3_pla, "--pipeline", "essentials,loop", "--verify"]
+        ) == EXIT_OK
+        assert ".p " in capsys.readouterr().out
+
+    def test_pipeline_flag_rejects_bad_stage(self, fig3_pla, capsys):
+        assert main([fig3_pla, "--pipeline", "nonsense"]) == EXIT_USAGE
+        assert "unknown pipeline stage" in capsys.readouterr().err
+
+    def test_pipeline_flag_rejects_misplaced_make_prime(self, fig3_pla, capsys):
+        assert main([fig3_pla, "--pipeline", "make_prime,loop"]) == EXIT_USAGE
+        assert "must be last" in capsys.readouterr().err
+
+    def test_jobs_flag_runs_per_output_mode(self, fig3_pla, capsys):
+        assert main([fig3_pla, "--jobs", "2", "--verify", "--stats"]) == EXIT_OK
+        assert ".p 3" in capsys.readouterr().out
+
     def test_checked_mode(self, fig3_pla, tmp_path, capsys):
         assert main([
             fig3_pla, "--checked", "--verify",

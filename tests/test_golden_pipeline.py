@@ -1,0 +1,76 @@
+"""Golden-pipeline regression: the refactor changed the engine, not the math.
+
+``data/golden_pipeline.json`` pins the exact covers (cube for cube, as
+(inbits, outbits) hex pairs) the pre-pipeline driver produced on the full
+benchmark suite, in both native multi-output and per-output mode.  The
+pass-pipeline rewrite must reproduce them byte-identically: any diff here
+means the declarative spec reordered or re-parameterized an operator call.
+
+The default spec's static shape is pinned alongside, so an accidental
+change to :func:`repro.hf.espresso_hf.build_hf_pipeline` fails loudly
+rather than surfacing as a mysterious cover change three layers down.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.bm.benchmarks import BENCHMARKS, build_benchmark
+from repro.hf import EspressoHFOptions, espresso_hf, espresso_hf_per_output
+from repro.hf.espresso_hf import build_hf_pipeline
+from repro.pipeline import flatten_pass_names
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "data",
+    "golden_pipeline.json",
+)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH) as fh:
+        data = json.load(fh)
+    assert data["suite"] == "espresso-hf-golden"
+    return data["circuits"]
+
+
+def _cover_key(cover):
+    return sorted([f"{c.inbits:x}", f"{c.outbits:x}"] for c in cover)
+
+
+class TestGoldenSpec:
+    def test_default_pass_sequence(self):
+        assert flatten_pass_names(build_hf_pipeline(EspressoHFOptions())) == [
+            "canonicalize",
+            "essentials",
+            "expand",
+            "irredundant",
+            "[[reduce+expand+irredundant]*+last_gasp]*",
+            "merge_essentials",
+            "make_prime",
+            "final_irredundant",
+        ]
+
+    def test_golden_file_covers_the_whole_suite(self, golden):
+        assert sorted(golden) == sorted(b.name for b in BENCHMARKS)
+
+
+class TestGoldenCovers:
+    @pytest.mark.parametrize("name", [b.name for b in BENCHMARKS])
+    def test_multi_output_cover_identical(self, golden, name):
+        entry = golden[name]
+        result = espresso_hf(build_benchmark(name))
+        assert result.status == entry["status"]
+        assert result.num_cubes == entry["num_cubes"]
+        assert result.num_literals == entry["num_literals"]
+        assert _cover_key(result.cover) == entry["cover"]
+
+    @pytest.mark.parametrize("name", [b.name for b in BENCHMARKS])
+    def test_per_output_cover_identical(self, golden, name):
+        entry = golden[name]
+        result = espresso_hf_per_output(build_benchmark(name))
+        assert result.status == entry["per_output_status"]
+        assert result.num_cubes == entry["per_output_num_cubes"]
+        assert _cover_key(result.cover) == entry["per_output_cover"]

@@ -42,6 +42,7 @@ class TestTopLevelApi:
         import repro.hazards
         import repro.hf
         import repro.mincov
+        import repro.pipeline
         import repro.pla
         import repro.report
         import repro.simulate
