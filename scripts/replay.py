@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Replay failure repro bundles from the command line.
+
+Usage::
+
+    PYTHONPATH=src python scripts/replay.py artifacts/*.bundle
+
+For runtime-failure bundles (invariant violations, cross-check
+divergences, verifier failures, crashes) each bundle is re-run under
+checked mode via :func:`repro.guard.bundle.replay_bundle` and reported as
+reproduced or not; the exit code is the number of bundles that did *not*
+reproduce.
+
+``property_falsified`` bundles (written by the property-test harness, see
+docs/TESTING.md) record a counterexample to a Hypothesis property rather
+than a runtime failure.  For these the script re-runs the minimizer on
+the bundled instance and reports the Theorem 2.11 verifier's verdict —
+the bundle "reproduces" when the instance still parses and runs; the
+property itself is re-checked by running its test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def replay_property_bundle(bundle) -> dict:
+    """Best-effort replay of a property counterexample bundle."""
+    from repro.guard.bundle import probe_failure
+
+    try:
+        instance = bundle.instance()
+    except Exception as exc:  # noqa: BLE001 - malformed bundle is the result
+        return {
+            "name": bundle.name,
+            "expected": bundle.failure_kind,
+            "observed": f"unparseable: {type(exc).__name__}: {exc}",
+            "reproduced": False,
+        }
+    observed = probe_failure(instance)
+    return {
+        "name": bundle.name,
+        "expected": "property_falsified",
+        "observed": observed or "minimizer ran clean (re-run the test itself)",
+        "reproduced": True,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("bundles", nargs="+", help="bundle files to replay")
+    args = parser.parse_args(argv)
+
+    from repro.guard.bundle import load_bundle, replay_bundle
+
+    failures = 0
+    for path in args.bundles:
+        try:
+            bundle = load_bundle(path)
+        except Exception as exc:  # noqa: BLE001 - report and continue
+            print(f"{path}: unreadable ({type(exc).__name__}: {exc})")
+            failures += 1
+            continue
+        if bundle.failure_kind == "property_falsified":
+            result = replay_property_bundle(bundle)
+        else:
+            result = replay_bundle(path)
+        verdict = "reproduced" if result["reproduced"] else "NOT reproduced"
+        print(
+            f"{path}: {verdict} "
+            f"(expected {result['expected']}, observed {result['observed']})"
+        )
+        if bundle.failure_message:
+            print(f"  {bundle.failure_message.splitlines()[0]}")
+        if not result["reproduced"]:
+            failures += 1
+    return failures
+
+
+if __name__ == "__main__":
+    sys.exit(main())

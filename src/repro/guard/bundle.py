@@ -41,6 +41,7 @@ FAILURE_KINDS = (
     "crosscheck_divergence",
     "verify_failed",
     "crash",
+    "property_falsified",
 )
 
 #: EspressoHFOptions fields that serialize into a bundle (plain scalars)
@@ -132,12 +133,16 @@ def write_bundle(
     trace=None,
     shrink: Optional[Dict[str, Any]] = None,
     bundle_dir: str = DEFAULT_BUNDLE_DIR,
+    filename: Optional[str] = None,
 ) -> str:
     """Serialize a failure bundle to ``bundle_dir``; returns its path.
 
-    The filename is content-addressed (instance name plus a hash of the PLA
-    text and failure message), so re-runs of the same failure overwrite one
-    file instead of accumulating duplicates.
+    By default the filename is content-addressed (instance name plus a hash
+    of the PLA text and failure message), so re-runs of the same failure
+    overwrite one file instead of accumulating duplicates.  An explicit
+    ``filename`` pins the path instead — the property-test harness uses a
+    per-test name so Hypothesis's final shrunk replay is what survives on
+    disk, not every intermediate falsifying example.
     """
     from repro.pla.writer import format_pla
 
@@ -152,12 +157,16 @@ def write_bundle(
         trace=list(trace or []),
         shrink=dict(shrink or {}),
     )
-    digest = hashlib.sha1(
-        (pla_text + "\0" + failure_kind + "\0" + failure_message).encode()
-    ).hexdigest()[:10]
-    safe_name = "".join(c if c.isalnum() or c in "-_." else "_" for c in instance.name)
+    if filename is None:
+        digest = hashlib.sha1(
+            (pla_text + "\0" + failure_kind + "\0" + failure_message).encode()
+        ).hexdigest()[:10]
+        safe_name = "".join(
+            c if c.isalnum() or c in "-_." else "_" for c in instance.name
+        )
+        filename = f"{safe_name}-{digest}.bundle"
     os.makedirs(bundle_dir, exist_ok=True)
-    path = os.path.join(bundle_dir, f"{safe_name}-{digest}.bundle")
+    path = os.path.join(bundle_dir, filename)
     with open(path, "w") as fh:
         json.dump(bundle.as_dict(), fh, indent=2)
         fh.write("\n")

@@ -111,16 +111,21 @@ def check_instance(inst, budget=None, do_exact=True, do_sim=True) -> str:
 
 
 def _instance_for_seed(seed: int, index: int):
-    """Deterministic instance generator: alternate direct / synthesized."""
-    from repro.bm.random_spec import random_burst_mode_spec, random_instance
+    """Deterministic instance generator: alternate direct / synthesized.
+
+    Even indices draw through the property-testing toolkit's builder
+    (:func:`repro.proptest.strategies.seeded_instance`) — the same
+    construction code the Hypothesis strategies shrink, driven by a seeded
+    PRNG; odd indices go through burst-mode synthesis for specification-
+    shaped inputs the direct builder never produces.
+    """
+    from repro.bm.random_spec import random_burst_mode_spec
     from repro.bm.spec import SpecError
     from repro.bm.synthesis import synthesize
+    from repro.proptest.strategies import seeded_instance
 
     if index % 2 == 0:
-        return (
-            random_instance(3 + seed % 3, 1 + seed % 3, n_transitions=4, seed=seed),
-            True,
-        )
+        return seeded_instance(seed), True
     try:
         spec = random_burst_mode_spec(
             2 + seed % 4, 1 + seed % 3, 2 + seed % 4, seed=seed

@@ -122,6 +122,13 @@ class EspressoHFOptions:
     fault injector for the coverage engine ((inbits, outbits, mask) ->
     mask), used to validate that checked mode catches engine bugs; never
     set it in production.
+
+    ``pass_decorator`` routes every pipeline pass through a wrapper
+    (``Pass -> Pass``, applied via :func:`repro.pipeline.map_passes`).
+    It exists for the property-based testing toolkit — the
+    :mod:`repro.proptest.faults` defect injector substitutes deliberately
+    broken phase operators through it to prove the oracles catch them —
+    and, like ``coverage_fault_hook``, must never be set in production.
     """
 
     use_essentials: bool = True
@@ -135,6 +142,7 @@ class EspressoHFOptions:
     budget: Optional[RunBudget] = None
     checked: bool = False
     coverage_fault_hook: Optional[Callable[[int, int, int], int]] = None
+    pass_decorator: Optional[Callable] = None
 
 
 # ----------------------------------------------------------------------
@@ -348,6 +356,10 @@ def build_hf_pipeline(options: EspressoHFOptions) -> Tuple:
         # set restores irredundancy and can only shrink the cover.
         steps.append(Step(MakePrimePass(), check_reqs=_qf))
         steps.append(Step(IrredundantPass(final=True), check_reqs=_qf))
+    if options.pass_decorator is not None:
+        from repro.pipeline import map_passes
+
+        return map_passes(steps, options.pass_decorator)
     return tuple(steps)
 
 

@@ -23,6 +23,7 @@ from repro.pipeline.base import (
     PipelineState,
     Step,
     flatten_pass_names,
+    map_passes,
 )
 from repro.pipeline.hooks import Hook, SnapshotHook, TimingHook, TraceHook
 from repro.pipeline.manager import PassManager, default_hooks
@@ -40,4 +41,5 @@ __all__ = [
     "TraceHook",
     "default_hooks",
     "flatten_pass_names",
+    "map_passes",
 ]

@@ -145,6 +145,59 @@ class FixedPoint:
 Node = Union[Step, Group, FixedPoint]
 
 
+def map_passes(
+    nodes: Sequence[Node], fn: Callable[[Pass], Pass]
+) -> Tuple[Node, ...]:
+    """Rebuild a spec with every :class:`Pass` routed through ``fn``.
+
+    Structure (groups, fixed points, gates, hook configuration) is
+    preserved; only the ``pass_`` objects are substituted.  ``fn`` may
+    return its argument unchanged to leave a pass alone.  This is the
+    instrumentation seam of the pipeline layer: the proptest fault
+    injector (:mod:`repro.proptest.faults`) wraps individual phase
+    operators with deliberately defective variants through it, and
+    tracing/measurement wrappers can use the same hook.
+    """
+    rebuilt: List[Node] = []
+    for node in nodes:
+        if isinstance(node, Step):
+            new_pass = fn(node.pass_)
+            if new_pass is node.pass_:
+                rebuilt.append(node)
+            else:
+                rebuilt.append(
+                    Step(
+                        new_pass,
+                        record=node.record,
+                        snapshot=node.snapshot,
+                        check=node.check,
+                        check_cubes=node.check_cubes,
+                        check_reqs=node.check_reqs,
+                        enabled=node.enabled,
+                    )
+                )
+        elif isinstance(node, Group):
+            rebuilt.append(
+                Group(node.name, map_passes(node.body, fn), enabled=node.enabled)
+            )
+        elif isinstance(node, FixedPoint):
+            rebuilt.append(
+                FixedPoint(
+                    node.name,
+                    map_passes(node.body, fn),
+                    max_rounds=node.max_rounds,
+                    charge=node.charge,
+                    track_convergence=node.track_convergence,
+                    exhausted_message=node.exhausted_message,
+                    measure=node.measure,
+                    enabled=node.enabled,
+                )
+            )
+        else:  # pragma: no cover - spec construction error
+            raise TypeError(f"not a pipeline node: {node!r}")
+    return tuple(rebuilt)
+
+
 def flatten_pass_names(nodes: Sequence[Node]) -> List[str]:
     """Static pass-name sequence of a spec (fixed points listed once).
 

@@ -1,0 +1,119 @@
+"""Counterexample persistence: Hypothesis example DB + guard repro bundles.
+
+Two artifact stores cooperate here, co-located under ``artifacts/``:
+
+* the **Hypothesis example database** (``artifacts/hypothesis/``) stores
+  falsifying *choice sequences*, so re-running a property replays its last
+  counterexample first — Hypothesis-native, byte-level, test-keyed;
+* **guard repro bundles** (``artifacts/*.bundle``) store falsifying
+  *instances* as extended PLA, the same self-contained format the guarded
+  runtime and ``scripts/replay.py`` already speak — tool-agnostic and
+  attachable to a bug report.
+
+:func:`bundle_on_failure` bridges the two: wrap a property body and every
+failing call serializes its instance to a fixed per-test bundle filename.
+Because Hypothesis runs the *minimal* falsifying example last (the shrunk
+reproduction it reports), the file left on disk after a failed test holds
+the shrunk instance — replayable with ``scripts/replay.py`` or
+:func:`repro.guard.bundle.replay_bundle` without Hypothesis installed.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from functools import wraps
+from typing import Optional
+
+from repro.guard.bundle import DEFAULT_BUNDLE_DIR, write_bundle
+from repro.hazards.instance import HazardFreeInstance
+
+try:
+    from hypothesis.database import DirectoryBasedExampleDatabase
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - exercised only without hypothesis
+    HAVE_HYPOTHESIS = False
+
+#: subdirectory of the artifact root holding the Hypothesis example DB
+HYPOTHESIS_DB_SUBDIR = "hypothesis"
+
+
+def example_database(root: str = DEFAULT_BUNDLE_DIR):
+    """The project's Hypothesis example database, beside the repro bundles.
+
+    CI uploads the whole ``root`` directory as one artifact, so a nightly
+    failure ships both its choice-sequence replay and its PLA bundle.
+    """
+    if not HAVE_HYPOTHESIS:  # pragma: no cover - exercised only without hyp.
+        raise RuntimeError("example_database requires the 'hypothesis' package")
+    return DirectoryBasedExampleDatabase(os.path.join(root, HYPOTHESIS_DB_SUBDIR))
+
+
+def bundle_filename(test_id: str) -> str:
+    """Stable bundle filename for one property test."""
+    safe = re.sub(r"[^A-Za-z0-9_.-]+", "_", test_id).strip("_")
+    return f"proptest-{safe}.bundle"
+
+
+def bundle_counterexample(
+    instance: HazardFreeInstance,
+    test_id: str,
+    error: BaseException,
+    options=None,
+    bundle_dir: str = DEFAULT_BUNDLE_DIR,
+) -> str:
+    """Serialize one falsifying instance as a ``property_falsified`` bundle.
+
+    The filename is pinned per test (not content-addressed), so successive
+    falsifying calls of one shrink run overwrite each other and the final,
+    minimal example is what survives.
+    """
+    return write_bundle(
+        instance,
+        failure_kind="property_falsified",
+        failure_message=f"{test_id}: {type(error).__name__}: {error}",
+        failure_phase="proptest",
+        options=options,
+        trace=[f"proptest:{test_id}"],
+        bundle_dir=bundle_dir,
+        filename=bundle_filename(test_id),
+    )
+
+
+def _find_instance(args, kwargs) -> Optional[HazardFreeInstance]:
+    for value in list(args) + list(kwargs.values()):
+        if isinstance(value, HazardFreeInstance):
+            return value
+    return None
+
+
+def bundle_on_failure(test_id: str, bundle_dir: str = DEFAULT_BUNDLE_DIR):
+    """Decorator for property bodies: bundle the instance on every failure.
+
+    Place it *under* ``@given`` (closest to the function), so it sees the
+    concrete drawn arguments.  The first :class:`HazardFreeInstance` among
+    them is bundled; the exception always propagates to Hypothesis, which
+    keeps shrinking — each shrink step overwrites the bundle, leaving the
+    minimal counterexample on disk.
+    """
+
+    def decorate(fn):
+        @wraps(fn)
+        def wrapper(*args, **kwargs):
+            try:
+                return fn(*args, **kwargs)
+            except Exception as exc:
+                instance = _find_instance(args, kwargs)
+                if instance is not None:
+                    try:
+                        bundle_counterexample(
+                            instance, test_id, exc, bundle_dir=bundle_dir
+                        )
+                    except Exception:  # noqa: BLE001 - never mask the failure
+                        pass
+                raise
+
+        return wrapper
+
+    return decorate

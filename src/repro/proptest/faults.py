@@ -1,0 +1,239 @@
+"""Seeded defect injection: prove the oracles catch broken phase operators.
+
+A test suite that has never seen a bug is unfalsified, not trustworthy.
+This module defines five deliberately defective variants of the minimizer's
+phase operators — one per historically plausible failure mode — and installs
+them through the pipeline's instrumentation seam
+(:func:`repro.pipeline.map_passes` via ``EspressoHFOptions.pass_decorator``),
+so the *shipping* pipeline runs with exactly one corrupted pass and the
+property suite must flag it (``tests/test_bug_injection.py``).
+
+The defects, and the Theorem 2.11 condition each one breaks:
+
+``expand_overwiden``
+    EXPAND raises a literal past the legal dhf-expansion frontier — the
+    cube can now hit the OFF-set (condition a) or intersect a privileged
+    cube illegally (condition c).
+``reduce_undershrink``
+    REDUCE shrinks a cube below its required-coverage floor — a required
+    cube loses its cover (condition b).
+``irredundant_drop``
+    IRREDUNDANT discards a cube that still uniquely covers a required cube
+    (condition b).
+``essentials_mistag``
+    The essentials phase marks a required cube as covered by an essential
+    class that does not cover it; later passes are then free to drop its
+    real cover (condition b, surfacing at the final full-set check).
+``make_prime_off``
+    MAKE_DHF_PRIME "expands" a cube to the universe, ignoring the OFF-set
+    blocking matrix (condition a).
+
+Each corruption mutates the pipeline state *after* the genuine pass body,
+so the injected behaviour is a wrong *result*, not a crash — the hard case
+for an oracle.  On some instances a corruption is coincidentally harmless
+(e.g. widening a cube that stays inside the ON-set); the bug-injection test
+therefore drives :func:`probe_with_fault` under Hypothesis until it finds —
+and shrinks — an instance where the defect is observable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.cubes.cube import (
+    Cube,
+    LITERAL_DC,
+    LITERAL_ZERO,
+    full_input_mask,
+)
+
+
+@dataclass(frozen=True)
+class Defect:
+    """One injected bug: which pass to corrupt and how.
+
+    ``needs_loop`` marks defects living in the REDUCE/EXPAND/IRREDUNDANT
+    loop.  On small random instances the essentials phase usually covers
+    every required cube, the working cover empties, and the loop is
+    skipped — so :func:`faulty_options` disables essentials for these
+    defects to force the corrupted pass to actually process cubes (the
+    standard mutation-testing rule: run the configuration that reaches
+    the mutant).
+    """
+
+    name: str
+    pass_name: str
+    corrupt: Callable
+    description: str = ""
+    needs_loop: bool = False
+
+
+class FaultyPass:
+    """Wraps a genuine pass; runs it, then applies the defect's corruption.
+
+    The wrapper keeps the inner pass's name so pipeline traces, timing
+    buckets, and checked-mode checkpoint labels are indistinguishable from
+    a production run — the oracles must catch the defect by its *effect*.
+    """
+
+    def __init__(self, inner, corrupt: Callable):
+        self.inner = inner
+        self.corrupt = corrupt
+        self.name = inner.name
+
+    def run(self, state):
+        self.inner.run(state)
+        self.corrupt(state)
+        return state
+
+
+# ----------------------------------------------------------------------
+# Corruptions (applied to HFState after the genuine pass body)
+# ----------------------------------------------------------------------
+
+
+def _overwiden_first(state) -> None:
+    """Raise the first bound literal of the first cover cube to don't-care."""
+    for idx, cube in enumerate(state.f):
+        for i in range(cube.n_inputs):
+            if cube.literal(i) != LITERAL_DC:
+                state.f[idx] = cube.with_literal(i, LITERAL_DC)
+                return
+
+
+def _undershrink_first(state) -> None:
+    """Bind the first free literal of the first cover cube to ZERO."""
+    for idx, cube in enumerate(state.f):
+        for i in range(cube.n_inputs):
+            if cube.literal(i) == LITERAL_DC:
+                state.f[idx] = cube.with_literal(i, LITERAL_ZERO)
+                return
+
+
+def _drop_last(state) -> None:
+    """Discard the last cover cube, required or not."""
+    if state.f:
+        state.f.pop()
+
+
+def _mistag_required(state) -> None:
+    """Corrupt the essentials phase's coverage accounting.
+
+    Either a pending required cube is marked covered without a covering
+    essential (popped from ``remaining``), or an essential class
+    representative vanishes while the required cubes it distinguished stay
+    marked as covered (popped from ``essentials``) — both are the same
+    bookkeeping bug seen from two sides.
+    """
+    if state.remaining:
+        state.remaining.pop(0)
+    elif state.essentials:
+        state.essentials.pop(0)
+
+
+def _widen_to_universe(state) -> None:
+    """Replace the first cover cube's input part with the full cube."""
+    if state.f:
+        cube = state.f[0]
+        state.f[0] = Cube(
+            cube.n_inputs,
+            full_input_mask(cube.n_inputs),
+            cube.outbits,
+            cube.n_outputs,
+        )
+
+
+DEFECTS = {
+    d.name: d
+    for d in (
+        Defect(
+            "expand_overwiden",
+            pass_name="expand",
+            corrupt=_overwiden_first,
+            description="EXPAND raises a literal past the dhf frontier",
+            needs_loop=True,
+        ),
+        Defect(
+            "reduce_undershrink",
+            pass_name="reduce",
+            corrupt=_undershrink_first,
+            description="REDUCE shrinks a cube below its coverage floor",
+            needs_loop=True,
+        ),
+        Defect(
+            "irredundant_drop",
+            pass_name="irredundant",
+            corrupt=_drop_last,
+            description="IRREDUNDANT drops a still-required cube",
+            needs_loop=True,
+        ),
+        Defect(
+            "essentials_mistag",
+            pass_name="essentials",
+            corrupt=_mistag_required,
+            description="essentials mis-tags a required cube as covered",
+        ),
+        Defect(
+            "make_prime_off",
+            pass_name="make_prime",
+            corrupt=_widen_to_universe,
+            description="MAKE_DHF_PRIME ignores the OFF-set blocking matrix",
+        ),
+    )
+}
+
+
+def fault_decorator(defect: Defect) -> Callable:
+    """``Pass -> Pass`` mapper corrupting exactly the defect's target pass."""
+
+    def decorate(pass_):
+        if pass_.name == defect.pass_name:
+            return FaultyPass(pass_, defect.corrupt)
+        return pass_
+
+    return decorate
+
+
+def faulty_options(defect_name: str, checked: bool = True):
+    """Fresh :class:`EspressoHFOptions` running one defective pass.
+
+    Loop defects disable the essentials shortcut so the corrupted pass is
+    reached (see :class:`Defect`); the pipeline shape is otherwise the
+    shipping default.
+    """
+    from repro.hf.espresso_hf import EspressoHFOptions
+
+    defect = DEFECTS[defect_name]
+    return EspressoHFOptions(
+        checked=checked,
+        use_essentials=not defect.needs_loop,
+        pass_decorator=fault_decorator(defect),
+    )
+
+
+def probe_with_fault(instance, defect_name: str) -> Optional[str]:
+    """Run one checked minimization with the defect installed; classify.
+
+    Returns ``None`` when nothing catches the corruption on this instance
+    (including the Theorem 4.1 ``NoSolutionError`` path, where the corrupted
+    pass never runs), or the failure kind that caught it:
+    ``"invariant_violation"`` (a checked-mode checkpoint or the final
+    full-set check), ``"verify_failed"`` (the independent Theorem 2.11
+    verifier on the returned cover), or ``"crash"``.
+    """
+    from repro.guard.errors import InvariantViolation, NoSolutionError
+    from repro.hazards.verify import verify_hazard_free_cover
+    from repro.hf.espresso_hf import espresso_hf
+
+    try:
+        result = espresso_hf(instance, faulty_options(defect_name))
+    except NoSolutionError:
+        return None
+    except InvariantViolation:
+        return "invariant_violation"
+    except Exception:  # noqa: BLE001 - any crash is a catch
+        return "crash"
+    if verify_hazard_free_cover(instance, result.cover):
+        return "verify_failed"
+    return None

@@ -1,0 +1,54 @@
+"""Shared test configuration: Hypothesis settings profiles.
+
+Three profiles, selected with ``HYPOTHESIS_PROFILE`` (default ``ci``):
+
+``ci``
+    The tier-1 default: moderate example counts, **derandomized** so every
+    CI run draws the same examples — property tests behave like seeded
+    regression tests and never flake.  ``deadline=None`` because a single
+    minimization can legitimately take longer than Hypothesis's default
+    200ms on a loaded CI worker.
+``dev``
+    Quick local iteration: few examples, still derandomized.
+``nightly``
+    The scheduled property job: many examples, fresh randomness each run,
+    counterexamples persisted to the shared example database
+    (``artifacts/hypothesis/``) so a failure found overnight replays first
+    in the next run — and in tier-1, which shares the database location.
+
+See ``docs/TESTING.md`` for the test-layer map.
+"""
+
+import os
+
+try:
+    from hypothesis import HealthCheck, settings
+
+    from repro.proptest.database import example_database
+
+    _COMMON = dict(
+        deadline=None,
+        suppress_health_check=[
+            HealthCheck.filter_too_much,
+            HealthCheck.too_slow,
+            HealthCheck.data_too_large,
+        ],
+        print_blob=True,
+    )
+
+    settings.register_profile(
+        "ci", max_examples=30, derandomize=True, **_COMMON
+    )
+    settings.register_profile(
+        "dev", max_examples=10, derandomize=True, **_COMMON
+    )
+    settings.register_profile(
+        "nightly",
+        max_examples=400,
+        derandomize=False,
+        database=example_database(),
+        **_COMMON,
+    )
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
+except ImportError:  # pragma: no cover - hypothesis-less environments
+    pass

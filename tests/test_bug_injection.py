@@ -1,0 +1,82 @@
+"""Seeded bug injection: the property suite must catch known defects.
+
+For each of the five defects in :mod:`repro.proptest.faults` we assert the
+*negation* — "this defect is never caught" — as a Hypothesis property over
+solvable instances.  The suite earns its keep by falsifying it: Hypothesis
+finds an instance where the corrupted pass produces an invalid cover, the
+oracles flag it, and the shrunk counterexample lands in a replayable repro
+bundle.  The whole hunt is derandomized, so a regression that blinds an
+oracle fails this test deterministically.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.guard.bundle import load_bundle
+from repro.proptest.database import bundle_filename, bundle_on_failure
+from repro.proptest.faults import DEFECTS, probe_with_fault
+from repro.proptest.strategies import InstanceConfig, solvable_instances
+
+#: generation bounds double as the shrunk-bundle size guarantee:
+#: at most 4 inputs and 6 ON cubes, per the acceptance criterion
+BUG_CONFIG = InstanceConfig(
+    max_inputs=4, max_outputs=2, max_on_cubes=6, max_transitions=3
+)
+
+HUNT_SETTINGS = settings(
+    max_examples=80,
+    derandomize=True,
+    database=None,
+    deadline=None,
+    suppress_health_check=[
+        HealthCheck.filter_too_much,
+        HealthCheck.too_slow,
+        HealthCheck.data_too_large,
+    ],
+)
+
+
+@pytest.mark.parametrize("defect_name", sorted(DEFECTS))
+def test_injected_defect_is_caught_and_shrunk(defect_name, tmp_path):
+    test_id = f"bug-injection.{defect_name}"
+
+    @HUNT_SETTINGS
+    @given(solvable_instances(BUG_CONFIG))
+    @bundle_on_failure(test_id, bundle_dir=str(tmp_path))
+    def defect_never_caught(inst):
+        caught = probe_with_fault(inst, defect_name)
+        assert caught is None, f"{defect_name} caught as {caught}"
+
+    # the property must be falsified: some instance exposes the defect
+    with pytest.raises(AssertionError):
+        defect_never_caught()
+
+    # ... and the minimal counterexample was bundled, small, and replayable
+    bundle = load_bundle(str(tmp_path / bundle_filename(test_id)))
+    assert bundle.failure_kind == "property_falsified"
+    inst = bundle.instance()
+    assert inst.n_inputs <= 4
+    assert len(inst.on) <= 6
+    assert probe_with_fault(inst, defect_name) is not None
+
+
+def test_hunt_is_deterministic(tmp_path):
+    """Fixed-seed repeatability: two hunts for one defect shrink to the
+    same counterexample (byte-identical bundle PLA)."""
+    test_ids = []
+    for run in range(2):
+        test_id = f"bug-injection.determinism.{run}"
+        test_ids.append(test_id)
+
+        @HUNT_SETTINGS
+        @given(solvable_instances(BUG_CONFIG))
+        @bundle_on_failure(test_id, bundle_dir=str(tmp_path))
+        def defect_never_caught(inst):
+            assert probe_with_fault(inst, "make_prime_off") is None
+
+        with pytest.raises(AssertionError):
+            defect_never_caught()
+
+    first = load_bundle(str(tmp_path / bundle_filename(test_ids[0])))
+    second = load_bundle(str(tmp_path / bundle_filename(test_ids[1])))
+    assert first.pla_text == second.pla_text

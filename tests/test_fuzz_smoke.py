@@ -68,6 +68,47 @@ def test_failing_seed_produces_bundle(tmp_path, monkeypatch):
     assert f"fuzz seed {failure.seed}" in bundle.failure_message
 
 
+def test_broken_minimizer_yields_shrunk_replayable_bundles(tmp_path, monkeypatch):
+    """End-to-end failure path: a defective minimizer (installed through the
+    proptest fault-injection seam) must surface as ``status="failed"``
+    outcomes whose bundles hold a *shrunk* instance that still reproduces
+    the failure under the same broken build."""
+    import repro.hf as hf_pkg
+    from repro.guard.bundle import load_bundle
+    from repro.proptest.faults import faulty_options
+
+    real_espresso_hf = hf_pkg.espresso_hf
+
+    def broken_minimizer(inst, options=None):
+        # unchecked: the corrupted cover escapes and the *oracles* must
+        # flag it, exactly like a real minimizer bug would play out
+        return real_espresso_hf(inst, faulty_options("make_prime_off", checked=False))
+
+    monkeypatch.setattr(hf_pkg, "espresso_hf", broken_minimizer)
+    report = run_fuzz(
+        n_iterations=6,
+        base_seed=0,
+        exact_budget=SMOKE_BUDGET,
+        bundle_dir=str(tmp_path),
+    )
+    assert report.failures, "a corrupted minimizer must fail the fuzz loop"
+    failure = report.failures[0]
+    assert failure.status == "failed"
+    assert failure.bundle_path is not None
+
+    bundle = load_bundle(failure.bundle_path)
+    shrunk = bundle.instance()
+    # the bundle's instance replays: the same check still fails on it
+    try:
+        check_instance(shrunk, budget=SMOKE_BUDGET, do_exact=False)
+        raise AssertionError("shrunk bundle instance no longer reproduces")
+    except AssertionError as exc:
+        assert "reproduces" not in str(exc)
+    # delta-debugging ran and recorded its trail
+    if bundle.shrink:
+        assert bundle.shrink.get("evaluations", 0) >= 1
+
+
 def test_check_instance_direct():
     # the library entry point also works one instance at a time
     from repro.bm.random_spec import random_instance

@@ -1,0 +1,131 @@
+"""Metamorphic properties: hazard-freedom is preserved by known rewrites.
+
+Each test runs the minimizer (or an oracle) on an instance and on a
+transformed instance and asserts the relation
+:mod:`repro.proptest.metamorphic` proves for that transform:
+
+* **verdict invariance** — a verified cover, mapped through the
+  transform's cover mapping, verifies against the transformed instance
+  (all four transforms);
+* **cardinality invariance** — the minimizer returns the same cover size
+  under input permutation, polarity flip, and output duplication (the
+  rewrites are bijections / exact duplications, and the heuristic's
+  tie-breaks are confirmed stable under them);
+* **solvability invariance / monotonicity** — Theorem 4.1 solvability is
+  preserved exactly by the bijective rewrites and monotonically by
+  transition subsetting.
+"""
+
+from hypothesis import assume, given, strategies as st
+
+from repro.hazards import hazard_free_solution_exists
+from repro.hazards.verify import verify_hazard_free_cover
+from repro.hf import espresso_hf
+from repro.proptest.metamorphic import (
+    input_permutation,
+    output_duplication,
+    polarity_flip,
+    transforms_for,
+    transition_subset,
+)
+from repro.proptest.strategies import InstanceConfig, instances, solvable_instances
+
+#: small instances: every test minimizes at least twice
+SMALL = InstanceConfig(max_inputs=4, max_outputs=2, max_on_cubes=5, max_transitions=3)
+
+
+class TestVerdictInvariance:
+    @given(solvable_instances(SMALL), st.data())
+    def test_transformed_cover_verifies(self, inst, data):
+        transform = data.draw(transforms_for(inst))
+        cover = espresso_hf(inst).cover
+        assert not verify_hazard_free_cover(inst, cover)
+        t_inst = transform.apply_instance(inst)
+        t_cover = transform.apply_cover(cover)
+        violations = verify_hazard_free_cover(t_inst, t_cover, collect_all=True)
+        assert not violations, (transform.name, violations[:3])
+
+    @given(solvable_instances(SMALL), st.data())
+    def test_roundtrip_permutation_is_identity(self, inst, data):
+        perm = data.draw(st.permutations(range(inst.n_inputs)))
+        inverse = [0] * len(perm)
+        for i, p in enumerate(perm):
+            inverse[p] = i
+        back = input_permutation(inverse).apply_instance(
+            input_permutation(perm).apply_instance(inst)
+        )
+        assert back.on.key() == inst.on.key()
+        assert back.off.key() == inst.off.key()
+        assert list(back.transitions) == list(inst.transitions)
+
+    @given(solvable_instances(SMALL), st.data())
+    def test_double_flip_is_identity(self, inst, data):
+        mask = data.draw(st.integers(1, (1 << inst.n_inputs) - 1))
+        flip = polarity_flip(mask)
+        back = flip.apply_instance(flip.apply_instance(inst))
+        assert back.on.key() == inst.on.key()
+        assert back.off.key() == inst.off.key()
+        assert list(back.transitions) == list(inst.transitions)
+
+
+class TestCardinalityInvariance:
+    @given(solvable_instances(SMALL), st.data())
+    def test_equal_transforms_keep_cover_size(self, inst, data):
+        transform = data.draw(transforms_for(inst))
+        assume(transform.cardinality == "equal")
+        base = espresso_hf(inst)
+        transformed = espresso_hf(transform.apply_instance(inst))
+        assert len(transformed.cover) == len(base.cover), transform.name
+
+    @given(solvable_instances(SMALL), st.data())
+    def test_subset_never_grows_cover(self, inst, data):
+        assume(len(inst.transitions) >= 2)
+        keep = data.draw(
+            st.lists(
+                st.integers(0, len(inst.transitions) - 1),
+                min_size=1,
+                max_size=len(inst.transitions) - 1,
+                unique=True,
+            )
+        )
+        transform = transition_subset(sorted(keep))
+        base = espresso_hf(inst)
+        weaker = espresso_hf(transform.apply_instance(inst))
+        assert len(weaker.cover) <= len(base.cover)
+
+
+class TestSolvabilityRelation:
+    @given(instances(SMALL), st.data())
+    def test_bijective_transforms_preserve_solvability(self, inst, data):
+        transform = data.draw(transforms_for(inst))
+        assume(transform.cardinality == "equal")
+        assert hazard_free_solution_exists(
+            transform.apply_instance(inst)
+        ) == hazard_free_solution_exists(inst)
+
+    @given(solvable_instances(SMALL), st.data())
+    def test_subsetting_preserves_solvability(self, inst, data):
+        assume(len(inst.transitions) >= 2)
+        keep = data.draw(
+            st.lists(
+                st.integers(0, len(inst.transitions) - 1),
+                min_size=1,
+                max_size=len(inst.transitions) - 1,
+                unique=True,
+            )
+        )
+        weaker = transition_subset(sorted(keep)).apply_instance(inst)
+        assert hazard_free_solution_exists(weaker)
+
+
+class TestOutputDuplicationDetails:
+    @given(solvable_instances(SMALL), st.data())
+    def test_duplicate_output_shares_cubes(self, inst, data):
+        """The multi-output minimizer serves the duplicated output with the
+        same cubes as the original — no per-output copies."""
+        j = data.draw(st.integers(0, inst.n_outputs - 1))
+        dup = output_duplication(j).apply_instance(inst)
+        result = espresso_hf(dup)
+        new = dup.n_outputs - 1
+        for c in result.cover:
+            assert c.has_output(j) == c.has_output(new)

@@ -1,0 +1,23 @@
+"""Stateful pipeline exploration (see :mod:`repro.proptest.machine`).
+
+Hypothesis drives the pass pipeline in arbitrary legal orders and checks
+the Theorem 2.11 conditions after every step; whole-run rules assert the
+budget, checked-mode, and serial/parallel driver contracts.  Example
+counts stay small — every rule executes real minimizer passes — and the
+step budget is what buys the order coverage.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import run_state_machine_as_test
+
+from repro.proptest.machine import HFPipelineMachine
+
+MACHINE_SETTINGS = settings(
+    max_examples=5,
+    stateful_step_count=12,
+    deadline=None,
+)
+
+
+def test_hf_pipeline_machine():
+    run_state_machine_as_test(HFPipelineMachine, settings=MACHINE_SETTINGS)

@@ -1,50 +1,46 @@
-"""Cross-cutting property-based tests: algebra laws and algorithm invariants."""
+"""Cross-cutting property-based tests: algebra laws and algorithm invariants.
+
+All strategies come from :mod:`repro.proptest.strategies` — the shipped
+generation layer shared with the metamorphic suite, the stateful pipeline
+machine, and the seeded fuzz loop.  Settings (example counts, deadlines,
+derandomization) come from the profiles in ``tests/conftest.py``; no test
+here carries its own ``@settings``.
+"""
 
 import itertools
 
-import pytest
-from hypothesis import HealthCheck, assume, given, settings, strategies as st
+from hypothesis import assume, given, strategies as st
 
-from repro.cubes import Cube, Cover, minimize_scc
-from repro.cubes.operations import cube_sharp, supercube_of
-from repro.bm.random_spec import random_instance
-from repro.espresso import complement, tautology, all_primes, espresso
+from repro.cubes import Cube, minimize_scc
+from repro.cubes.operations import cube_sharp
+from repro.espresso import all_primes, complement, espresso, tautology
 from repro.espresso.irredundant import irredundant_cover
 from repro.espresso.tautology import cover_contains_cube
 from repro.hazards import hazard_free_solution_exists
-from repro.hf import espresso_hf, HFContext, NoSolutionError
+from repro.hazards.verify import verify_hazard_free_cover
+from repro.hf import HFContext, NoSolutionError, espresso_hf
+from repro.proptest.database import bundle_on_failure
+from repro.proptest.strategies import (
+    InstanceConfig,
+    covers,
+    cubes,
+    instances,
+    solvable_instances,
+)
 
-
-def cubes(n):
-    return st.builds(
-        Cube.from_literals,
-        st.lists(st.integers(1, 3), min_size=n, max_size=n),
-    )
-
-
-def covers(n, max_cubes=5):
-    return st.builds(
-        lambda rows: Cover(n, [Cube.from_literals(r) for r in rows]),
-        st.lists(
-            st.lists(st.integers(1, 3), min_size=n, max_size=n),
-            min_size=0,
-            max_size=max_cubes,
-        ),
-    )
+#: single-output instances for the dhf-supercube unit laws
+SINGLE_OUT = InstanceConfig(max_inputs=4, max_outputs=1, max_on_cubes=5)
 
 
 class TestCubeAlgebraLaws:
-    @settings(max_examples=200, deadline=None)
     @given(cubes(4), cubes(4))
     def test_intersection_commutative(self, a, b):
         assert a.intersect(b) == b.intersect(a)
 
-    @settings(max_examples=200, deadline=None)
     @given(cubes(4), cubes(4), cubes(4))
     def test_intersection_associative(self, a, b, c):
         assert a.intersect(b).intersect(c) == a.intersect(b.intersect(c))
 
-    @settings(max_examples=200, deadline=None)
     @given(cubes(4), cubes(4))
     def test_supercube_is_least_upper_bound(self, a, b):
         sup = a.supercube(b)
@@ -56,18 +52,15 @@ class TestCubeAlgebraLaws:
                 assert c.contains(sup)
                 break  # one witness suffices; full check is expensive
 
-    @settings(max_examples=200, deadline=None)
     @given(cubes(4), cubes(4))
     def test_containment_antisymmetric(self, a, b):
         if a.contains(b) and b.contains(a):
             assert a == b
 
-    @settings(max_examples=200, deadline=None)
     @given(cubes(4), cubes(4))
     def test_distance_zero_iff_intersects(self, a, b):
         assert (a.input_distance(b) == 0) == a.intersects_input(b)
 
-    @settings(max_examples=150, deadline=None)
     @given(cubes(4), cubes(4))
     def test_sharp_partitions(self, a, b):
         assume(not a.is_empty)
@@ -80,21 +73,54 @@ class TestCubeAlgebraLaws:
         for p in pieces:
             assert a.contains_input(p)
 
-    @settings(max_examples=150, deadline=None)
     @given(covers(4))
     def test_scc_preserves_function(self, cover):
         reduced = minimize_scc(cover)
         assert reduced.semantically_equal(cover)
 
 
+class TestMultiOutputCubeLaws:
+    """The same algebra with drawn output parts (2-3 outputs)."""
+
+    @given(cubes(3, n_outputs=3), cubes(3, n_outputs=3))
+    def test_intersection_commutative(self, a, b):
+        assert a.intersect(b) == b.intersect(a)
+
+    @given(cubes(3, n_outputs=3), cubes(3, n_outputs=3))
+    def test_intersect_meets_both_parts(self, a, b):
+        meet = a.intersect(b)
+        assert meet.inbits == (a.inbits & b.inbits)
+        assert meet.outbits == (a.outbits & b.outbits)
+
+    @given(cubes(3, n_outputs=3), cubes(3, n_outputs=3))
+    def test_supercube_upper_bound(self, a, b):
+        sup = a.supercube(b)
+        assert sup.contains(a) and sup.contains(b)
+
+    @given(cubes(3, n_outputs=3), cubes(3, n_outputs=3))
+    def test_containment_antisymmetric(self, a, b):
+        if a.contains(b) and b.contains(a):
+            assert a == b
+
+    @given(cubes(3, n_outputs=3), cubes(3, n_outputs=3))
+    def test_disjoint_outputs_never_intersect(self, a, b):
+        if (a.outbits & b.outbits) == 0:
+            assert not a.intersects(b)
+
+    @given(covers(3, n_outputs=2, max_cubes=5))
+    def test_restrict_to_output_partitions_by_tag(self, cover):
+        for j in range(2):
+            restricted = cover.restrict_to_output(j)
+            assert len(restricted) == sum(1 for c in cover if c.has_output(j))
+            assert all(c.n_outputs == 1 for c in restricted)
+
+
 class TestDeMorganDuality:
-    @settings(max_examples=100, deadline=None)
     @given(covers(4))
     def test_double_complement(self, cover):
         cc = complement(complement(cover))
         assert cc.semantically_equal(cover)
 
-    @settings(max_examples=100, deadline=None)
     @given(covers(4))
     def test_cover_or_complement_is_tautology(self, cover):
         union = cover.copy()
@@ -103,7 +129,6 @@ class TestDeMorganDuality:
 
 
 class TestEspressoInvariants:
-    @settings(max_examples=40, deadline=None)
     @given(covers(4, max_cubes=6))
     def test_result_cubes_are_prime(self, cover):
         assume(not cover.drop_empty().is_empty)
@@ -112,7 +137,6 @@ class TestEspressoInvariants:
         for c in result:
             assert c.inbits in primes, f"{c} is not a prime"
 
-    @settings(max_examples=40, deadline=None)
     @given(covers(4, max_cubes=6))
     def test_result_is_irredundant(self, cover):
         assume(not cover.drop_empty().is_empty)
@@ -121,7 +145,6 @@ class TestEspressoInvariants:
             rest = result.without(c)
             assert not cover_contains_cube(rest, c), f"{c} is redundant"
 
-    @settings(max_examples=60, deadline=None)
     @given(covers(4, max_cubes=6))
     def test_irredundant_idempotent(self, cover):
         once = irredundant_cover(cover)
@@ -130,14 +153,8 @@ class TestEspressoInvariants:
 
 
 class TestSupercubeDhfProperties:
-    @settings(
-        max_examples=30,
-        deadline=None,
-        suppress_health_check=[HealthCheck.filter_too_much],
-    )
-    @given(st.integers(0, 5000))
-    def test_idempotent(self, seed):
-        inst = random_instance(4, 1, n_transitions=3, seed=seed)
+    @given(instances(SINGLE_OUT))
+    def test_idempotent(self, inst):
         ctx = HFContext(inst)
         for q in inst.required_cubes():
             first = ctx.supercube_dhf([q.cube], 1)
@@ -146,15 +163,9 @@ class TestSupercubeDhfProperties:
             again = ctx.supercube_dhf([first], 1)
             assert again == first
 
-    @settings(
-        max_examples=30,
-        deadline=None,
-        suppress_health_check=[HealthCheck.filter_too_much],
-    )
-    @given(st.integers(0, 5000))
-    def test_monotone_in_input(self, seed):
+    @given(instances(SINGLE_OUT))
+    def test_monotone_in_input(self, inst):
         """Adding cubes can only grow (or kill) the dhf-supercube."""
-        inst = random_instance(4, 1, n_transitions=3, seed=seed)
         reqs = inst.required_cubes()
         assume(len(reqs) >= 2)
         ctx = HFContext(inst)
@@ -163,21 +174,15 @@ class TestSupercubeDhfProperties:
         if single is not None and pair is not None:
             assert pair.contains_input(single)
 
-    @settings(
-        max_examples=25,
-        deadline=None,
-        suppress_health_check=[HealthCheck.filter_too_much],
-    )
-    @given(st.integers(0, 5000))
-    def test_minimality(self, seed):
+    @given(instances(InstanceConfig(max_inputs=3, max_outputs=1)))
+    def test_minimality(self, inst):
         """No strictly smaller dhf-implicant contains the required cube."""
-        inst = random_instance(3, 1, n_transitions=3, seed=seed)
         ctx = HFContext(inst)
         for q in inst.required_cubes():
             sup = ctx.supercube_dhf([q.cube], 1)
             if sup is None:
                 continue
-            for lits in itertools.product((1, 2, 3), repeat=3):
+            for lits in itertools.product((1, 2, 3), repeat=inst.n_inputs):
                 cand = Cube.from_literals(lits)
                 if (
                     cand != sup
@@ -188,38 +193,42 @@ class TestSupercubeDhfProperties:
 
 
 class TestEndToEndInvariants:
-    @settings(
-        max_examples=20,
-        deadline=None,
-        suppress_health_check=[HealthCheck.filter_too_much],
-    )
-    @given(st.integers(0, 20_000))
-    def test_hf_cover_cubes_are_dhf_prime(self, seed):
+    """Whole-minimizer properties on generated (multi-output) instances."""
+
+    @given(solvable_instances())
+    @bundle_on_failure("test_properties.hf_cover_verifies")
+    def test_hf_cover_verifies(self, inst):
+        """The independent Theorem 2.11 oracle accepts every result."""
+        res = espresso_hf(inst)
+        violations = verify_hazard_free_cover(inst, res.cover, collect_all=True)
+        assert not violations, violations[:3]
+
+    @given(instances())
+    def test_solvability_agreement(self, inst):
+        """The driver refuses exactly the Theorem 4.1-unsolvable instances."""
+        exists = hazard_free_solution_exists(inst)
+        try:
+            espresso_hf(inst)
+            assert exists
+        except NoSolutionError:
+            assert not exists
+
+    @given(solvable_instances())
+    def test_hf_cover_cubes_are_dhf_prime(self, inst):
         """After MAKE_DHF_PRIME, every cover cube is a dhf-prime: no single
-        raise is dhf-feasible."""
-        inst = random_instance(4, 1, n_transitions=3, seed=seed)
-        if not hazard_free_solution_exists(inst):
-            return
+        raise is dhf-feasible for the cube's output set."""
         res = espresso_hf(inst)
         ctx = HFContext(inst)
         for c in res.cover:
-            for i in range(4):
+            for i in range(inst.n_inputs):
                 if c.literal(i) == 3:
                     continue
                 raised = c.with_literal(i, 3)
                 assert ctx.supercube_dhf([raised], c.outbits) is None
 
-    @settings(
-        max_examples=20,
-        deadline=None,
-        suppress_health_check=[HealthCheck.filter_too_much],
-    )
-    @given(st.integers(0, 20_000))
-    def test_hf_cover_is_irredundant(self, seed):
+    @given(solvable_instances(SINGLE_OUT))
+    def test_hf_cover_is_irredundant(self, inst):
         """No cover cube can be dropped without uncovering a required cube."""
-        inst = random_instance(4, 1, n_transitions=3, seed=seed)
-        if not hazard_free_solution_exists(inst):
-            return
         res = espresso_hf(inst)
         ctx = HFContext(inst)
         reqs = ctx.canonical_required()
@@ -229,3 +238,17 @@ class TestEndToEndInvariants:
                 q for q in reqs if not any(ctx.covers(d, q) for d in rest)
             ]
             assert uncovered, f"{c} is redundant"
+
+    @given(solvable_instances(), st.integers(0, 1))
+    def test_transition_reversal_stays_verified(self, inst, idx):
+        """Covers keep verifying when a transition list is reordered."""
+        assume(len(inst.transitions) >= 2)
+        res = espresso_hf(inst)
+        reordered = list(inst.transitions)
+        reordered[0], reordered[-1] = reordered[-1], reordered[0]
+        from repro.hazards.instance import HazardFreeInstance
+
+        shuffled = HazardFreeInstance(
+            inst.on, inst.off, reordered, name=inst.name, validate=False
+        )
+        assert not verify_hazard_free_cover(shuffled, res.cover)
