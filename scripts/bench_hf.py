@@ -4,11 +4,13 @@
 Runs the minimizer over the benchmark suite — each circuit isolated in its
 own subprocess via :mod:`repro.guard.runner`, so one pathological circuit
 can time out or crash without taking down the sweep — and writes a JSON
-snapshot (per-circuit status, wall time best of ``--repeats``, cover size,
-and the operator-level performance counters) to ``BENCH_espresso_hf.json``
-at the repository root.  Committing the snapshot gives every future change
-a baseline to diff against: cover-size changes are correctness regressions,
-time/counter changes are performance ones.
+snapshot (per-circuit status, wall time best of ``--repeats`` plus all
+repeat times, cover size, and the operator-level performance counters) to
+``BENCH_espresso_hf.json`` at the repository root.  Committing the
+snapshot gives every future change a baseline to diff against: cover-size
+changes are correctness regressions, time/counter changes are performance
+ones.  The diffing itself lives in :mod:`repro.obs.regress`, driven by
+``scripts/bench_gate.py`` (which imports :func:`run_suite` from here).
 
 Usage::
 
@@ -16,6 +18,7 @@ Usage::
     python scripts/bench_hf.py --circuits dram-ctrl stetson-p3
     python scripts/bench_hf.py --repeats 5 --output /tmp/bench.json
     python scripts/bench_hf.py --timeout 60           # 60s cap per circuit
+    python scripts/bench_hf.py --trace-out bench.trace.json   # Chrome trace
 """
 
 from __future__ import annotations
@@ -24,12 +27,106 @@ import argparse
 import json
 import os
 import sys
+from typing import Dict, List, Optional, Sequence
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
 from repro.bm.benchmarks import BENCHMARKS  # noqa: E402
 from repro.guard.runner import benchmark_payload, run_batch  # noqa: E402
+
+DEFAULT_SNAPSHOT = os.path.join(REPO_ROOT, "BENCH_espresso_hf.json")
+
+
+def suite_names(circuits: Optional[Sequence[str]] = None) -> List[str]:
+    """Resolve (and validate) the circuit list; default is the full suite."""
+    known = {b.name for b in BENCHMARKS}
+    names = list(circuits) if circuits else [b.name for b in BENCHMARKS]
+    unknown = [n for n in names if n not in known]
+    if unknown:
+        raise ValueError(f"unknown circuits: {', '.join(unknown)}")
+    return names
+
+
+def run_suite(
+    circuits: Optional[Sequence[str]] = None,
+    repeats: int = 3,
+    timeout_s: Optional[float] = None,
+    checked: bool = False,
+    verify: bool = True,
+    bundle_dir: Optional[str] = None,
+    tracer=None,
+    quiet: bool = False,
+) -> Dict:
+    """Run the benchmark sweep and return the snapshot dict.
+
+    This is the single entry point shared by the baseline writer (this
+    script's CLI) and the regression gate (``scripts/bench_gate.py``), so
+    baseline and current snapshots are produced by identical machinery.
+    With a ``tracer`` (a :class:`repro.obs.Tracer`), each circuit's
+    best-repeat worker spans are adopted into it, laned by suite index.
+    """
+    names = suite_names(circuits)
+    collect_spans = tracer is not None
+    payloads = [
+        benchmark_payload(
+            name,
+            checked=checked,
+            verify=verify,
+            repeats=repeats,
+            collect_spans=collect_spans,
+        )
+        for name in names
+    ]
+    bundle_dir = bundle_dir or os.path.join(REPO_ROOT, "artifacts")
+    rows = run_batch(payloads, timeout_s=timeout_s, bundle_dir=bundle_dir)
+    for i, row in enumerate(rows):
+        if tracer is not None:
+            span = tracer.start(f"bench:{row['name']}")
+            tracer.adopt(row.pop("spans", None) or [], tid=i + 1)
+            tracer.unwind(span, status=row["status"])
+        if quiet:
+            continue
+        status = row["status"]
+        if status in ("ok", "degraded", "budget_exceeded"):
+            flag = "" if row.get("verified", True) else "  VERIFY FAILED"
+            if status != "ok":
+                flag += f"  [{status}]"
+            print(
+                f"{row['name']:18s} {row['num_cubes']:4d} cubes "
+                f"{row['time_s']:8.3f}s  "
+                f"supercube hits {row['counters']['supercube_hit_rate']:.0%}"
+                f"{flag}"
+            )
+        else:
+            where = f"  bundle: {row['bundle_path']}" if row.get("bundle_path") else ""
+            print(f"{row['name']:18s} {status.upper():>10s}  {row['error']}{where}")
+
+    # Suite-wide per-pass wall time: each row's phase_seconds comes keyed by
+    # pipeline pass name (canonicalize, essentials, expand, reduce,
+    # irredundant, last_gasp, make_prime, ...); summing across circuits
+    # shows where the suite actually spends its time.
+    phase_totals: dict = {}
+    for row in rows:
+        for phase, seconds in row.get("phase_seconds", {}).items():
+            phase_totals[phase] = phase_totals.get(phase, 0.0) + seconds
+    return {
+        "suite": "espresso-hf",
+        "python": sys.version.split()[0],
+        "repeats": repeats,
+        "total_time_s": round(sum(r.get("time_s", 0.0) for r in rows), 6),
+        "phase_seconds_total": {
+            k: round(v, 6) for k, v in sorted(phase_totals.items())
+        },
+        "circuits": rows,
+    }
+
+
+def write_snapshot(snapshot: Dict, path: str) -> None:
+    """Write a suite snapshot as indented JSON (the committed format)."""
+    with open(path, "w") as fh:
+        json.dump(snapshot, fh, indent=2)
+        fh.write("\n")
 
 
 def main(argv=None) -> int:
@@ -69,66 +166,42 @@ def main(argv=None) -> int:
         help="skip the Theorem 2.11 hazard-freedom check",
     )
     parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="write a Chrome trace of the sweep (best repeat per circuit)",
+    )
+    parser.add_argument(
         "--output",
-        default=os.path.join(REPO_ROOT, "BENCH_espresso_hf.json"),
+        default=DEFAULT_SNAPSHOT,
         help="snapshot path (default: BENCH_espresso_hf.json at repo root)",
     )
     args = parser.parse_args(argv)
 
-    known = {b.name for b in BENCHMARKS}
-    names = args.circuits or [b.name for b in BENCHMARKS]
-    unknown = [n for n in names if n not in known]
-    if unknown:
-        parser.error(f"unknown circuits: {', '.join(unknown)}")
+    tracer = None
+    if args.trace_out:
+        from repro.obs import Tracer
 
-    payloads = [
-        benchmark_payload(
-            name,
+        tracer = Tracer()
+    try:
+        snapshot = run_suite(
+            circuits=args.circuits,
+            repeats=args.repeats,
+            timeout_s=args.timeout,
             checked=args.checked,
             verify=not args.no_verify,
-            repeats=args.repeats,
+            bundle_dir=args.bundle_dir,
+            tracer=tracer,
         )
-        for name in names
-    ]
-    rows = run_batch(payloads, timeout_s=args.timeout, bundle_dir=args.bundle_dir)
-    for row in rows:
-        status = row["status"]
-        if status in ("ok", "degraded", "budget_exceeded"):
-            flag = "" if row.get("verified", True) else "  VERIFY FAILED"
-            if status != "ok":
-                flag += f"  [{status}]"
-            print(
-                f"{row['name']:18s} {row['num_cubes']:4d} cubes "
-                f"{row['time_s']:8.3f}s  "
-                f"supercube hits {row['counters']['supercube_hit_rate']:.0%}"
-                f"{flag}"
-            )
-        else:
-            where = f"  bundle: {row['bundle_path']}" if row.get("bundle_path") else ""
-            print(f"{row['name']:18s} {status.upper():>10s}  {row['error']}{where}")
+    except ValueError as exc:
+        parser.error(str(exc))
+    write_snapshot(snapshot, args.output)
+    if tracer is not None:
+        from repro.obs import write_chrome_trace
 
-    # Suite-wide per-pass wall time: each row's phase_seconds comes keyed by
-    # pipeline pass name (canonicalize, essentials, expand, reduce,
-    # irredundant, last_gasp, make_prime, ...); summing across circuits
-    # shows where the suite actually spends its time.
-    phase_totals: dict = {}
-    for row in rows:
-        for phase, seconds in row.get("phase_seconds", {}).items():
-            phase_totals[phase] = phase_totals.get(phase, 0.0) + seconds
-    snapshot = {
-        "suite": "espresso-hf",
-        "python": sys.version.split()[0],
-        "repeats": args.repeats,
-        "total_time_s": round(sum(r.get("time_s", 0.0) for r in rows), 6),
-        "phase_seconds_total": {
-            k: round(v, 6) for k, v in sorted(phase_totals.items())
-        },
-        "circuits": rows,
-    }
-    with open(args.output, "w") as fh:
-        json.dump(snapshot, fh, indent=2)
-        fh.write("\n")
+        write_chrome_trace(args.trace_out, tracer)
+        print(f"trace -> {args.trace_out}")
     print(f"total {snapshot['total_time_s']:.3f}s -> {args.output}")
+    rows = snapshot["circuits"]
     clean = all(
         r["status"] == "ok" and r.get("verified", True) for r in rows
     )

@@ -15,6 +15,7 @@ Examples::
     espresso-hf input.pla --timeout 30        # isolated run, 30s wall cap
     espresso-hf input.pla --jobs 4            # per-output mode, 4 workers
     espresso-hf input.pla --pipeline essentials,loop   # skip MAKE_DHF_PRIME
+    espresso-hf input.pla --trace-out t.json  # Chrome trace of the run
 
 Exit codes (see ``docs/FAILURES.md``):
 
@@ -131,6 +132,13 @@ def build_parser() -> argparse.ArgumentParser:
         "algorithm)",
     )
     parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="write a Chrome trace (chrome://tracing JSON) of the run: "
+        "one span per pipeline pass/group/fixed point, worker spans "
+        "included in --jobs and --timeout modes; see docs/OBSERVABILITY.md",
+    )
+    parser.add_argument(
         "--stats", action="store_true", help="print per-phase statistics"
     )
     parser.add_argument(
@@ -179,15 +187,20 @@ def _run_isolated(args, instance, pla_text: str):
     produce a cover.
     """
     from repro.guard.runner import pla_payload, run_one
+    from repro.obs import current_tracer
 
+    tracer = current_tracer()
     payload = pla_payload(
         pla_text,
         name=instance.name,
         options=_heuristic_options(args),
         checked=args.checked,
         verify=False,  # verification runs in the parent, on the real cover
+        collect_spans=tracer is not None,
     )
     row = run_one(payload, timeout_s=args.timeout, bundle_dir=args.bundle_dir)
+    if tracer is not None:
+        tracer.adopt(row.get("spans") or [], tid=1)
     status = row["status"]
     if status == "timeout":
         print(f"error: {row['error']}", file=sys.stderr)
@@ -233,6 +246,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         # errors onto the taxonomy (1 = usage) and pass --help through.
         return EXIT_OK if exc.code in (0, None) else EXIT_USAGE
 
+    if not args.trace_out:
+        return _run_command(args, tracer=None)
+
+    # --trace-out: run under an active span tracer and export whatever
+    # was captured on every exit path — a trace of a failed run is
+    # exactly when you want one.
+    from repro.obs import Tracer, activate, write_chrome_trace
+
+    tracer = Tracer()
+    with activate(tracer):
+        code = _run_command(args, tracer=tracer)
+    try:
+        write_chrome_trace(args.trace_out, tracer)
+    except OSError as exc:
+        print(f"error: cannot write {args.trace_out}: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    if args.stats:
+        from repro.obs import top_spans_report
+
+        for line in top_spans_report(tracer):
+            print(f"# {line}", file=sys.stderr)
+    return code
+
+
+def _run_command(args, tracer) -> int:
+    """Parse the instance and execute the selected mode (see :func:`main`)."""
     try:
         pla = read_pla(args.input)
         instance = pla.to_instance()

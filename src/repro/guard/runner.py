@@ -193,8 +193,15 @@ def benchmark_payload(
     verify: bool = True,
     repeats: int = 1,
     timeout_s: Optional[float] = None,
+    collect_spans: bool = False,
 ) -> Dict[str, Any]:
-    """Work item for one named Figure-8 benchmark circuit."""
+    """Work item for one named Figure-8 benchmark circuit.
+
+    With ``collect_spans`` the worker runs under its own
+    :class:`repro.obs.Tracer` and ships the fastest repeat's finished
+    spans (plus a metrics snapshot) back on the row — the batch caller
+    adopts them into its trace (``scripts/bench_gate.py --trace-out``).
+    """
     return {
         "kind": "benchmark",
         "name": name,
@@ -203,6 +210,7 @@ def benchmark_payload(
         "verify": verify,
         "repeats": repeats,
         "timeout_s": timeout_s,
+        "collect_spans": collect_spans,
     }
 
 
@@ -213,6 +221,7 @@ def pla_payload(
     checked: bool = False,
     verify: bool = True,
     timeout_s: Optional[float] = None,
+    collect_spans: bool = False,
 ) -> Dict[str, Any]:
     """Work item for one extended-PLA instance (the CLI's ``--timeout``)."""
     return {
@@ -225,6 +234,7 @@ def pla_payload(
         "repeats": 1,
         "return_cover": True,
         "timeout_s": timeout_s,
+        "collect_spans": collect_spans,
     }
 
 
@@ -234,6 +244,7 @@ def per_output_payload(
     output: int,
     options=None,
     checked: bool = False,
+    collect_spans: bool = False,
 ) -> Dict[str, Any]:
     """Work item for one output of a per-output sweep (``--jobs`` mode).
 
@@ -253,6 +264,7 @@ def per_output_payload(
         "verify": False,
         "repeats": 1,
         "return_raw": True,
+        "collect_spans": collect_spans,
     }
 
 
@@ -289,18 +301,38 @@ def minimize_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     row["n_outputs"] = instance.n_outputs
     options = options_from_dict(payload.get("options", {}))
     options.checked = bool(payload.get("checked", False))
+    collect_spans = bool(payload.get("collect_spans"))
     best_time: Optional[float] = None
     best = None
+    best_spans: Optional[List[Dict[str, Any]]] = None
+    times: List[float] = []
     try:
         for _ in range(max(1, int(payload.get("repeats", 1)))):
             if options.budget is not None:
                 options.budget.reset()
+            tracer = None
             t0 = time.perf_counter()
-            result = guarded_espresso_hf(instance, options, bundle_dir=bundle_dir)
+            if collect_spans:
+                from repro.obs import Tracer, activate
+
+                tracer = Tracer()
+                with activate(tracer):
+                    result = guarded_espresso_hf(
+                        instance, options, bundle_dir=bundle_dir
+                    )
+            else:
+                result = guarded_espresso_hf(
+                    instance, options, bundle_dir=bundle_dir
+                )
             elapsed = time.perf_counter() - t0
+            times.append(elapsed)
             if best_time is None or elapsed < best_time:
                 best_time = elapsed
                 best = result
+                if tracer is not None:
+                    best_spans = [
+                        s.as_dict() for s in tracer.finished_spans()
+                    ]
     except NoSolutionError as exc:
         row["status"] = "no_solution"
         row["error"] = str(exc)
@@ -322,6 +354,7 @@ def minimize_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
             "num_essential_classes": best.num_essential_classes,
             "num_canonical_required": best.num_canonical_required,
             "time_s": round(best_time, 6),
+            "times_s": [round(t, 6) for t in times],
             "phase_seconds": {
                 k: round(v, 6) for k, v in best.phase_seconds.items()
             },
@@ -330,6 +363,13 @@ def minimize_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
             "error": None,
         }
     )
+    if collect_spans:
+        from repro.obs import MetricsRegistry, publish_result_metrics
+
+        row["spans"] = best_spans or []
+        row["metrics"] = publish_result_metrics(
+            MetricsRegistry(), best
+        ).snapshot()
     for line in best.trace:
         if line.startswith("bundle:"):
             row["bundle_path"] = line.split(":", 1)[1]

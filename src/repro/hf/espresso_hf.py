@@ -76,6 +76,7 @@ from repro.hf.lastgasp import LastGaspPass
 from repro.hf.make_prime import MakePrimePass
 from repro.hf.reduce_ import ReducePass
 from repro.hf.result import HFResult
+from repro.obs import ObsHook, current_tracer
 from repro.perf import PerfCounters
 from repro.pipeline import (
     FixedPoint,
@@ -84,6 +85,7 @@ from repro.pipeline import (
     PipelineState,
     Step,
 )
+from repro.pipeline.manager import default_hooks
 
 #: status severity order for merging per-output results
 _STATUS_RANK = {"ok": 0, "degraded": 1, "budget_exceeded": 2}
@@ -386,7 +388,25 @@ def espresso_hf(
         ctx.coverage.fault_hook = options.coverage_fault_hook
 
     state = HFState(instance, options, ctx)
-    PassManager().run(build_hf_pipeline(options), state)
+    tracer = current_tracer()
+    if tracer is None:
+        PassManager().run(build_hf_pipeline(options), state)
+    else:
+        # Span tracing is active: the ObsHook leads the stack so pass
+        # spans close before the (potentially slow) checked-mode
+        # invariant hook runs, and a root span brackets the whole run.
+        manager = PassManager([ObsHook(tracer)] + default_hooks())
+        root = tracer.start(
+            f"run:{instance.name}",
+            n_inputs=instance.n_inputs,
+            n_outputs=instance.n_outputs,
+        )
+        try:
+            manager.run(build_hf_pipeline(options), state)
+        finally:
+            tracer.unwind(
+                root, status=state.status, cover_size=state.cover_size()
+            )
 
     cover = Cover(ctx.n_inputs, (), ctx.n_outputs)
     seen = set()
@@ -436,13 +456,27 @@ def espresso_hf_per_output(
     options = options or EspressoHFOptions()
     t_start = time.perf_counter()
     jobs = max(1, int(options.jobs or 1))
-    if jobs > 1 and instance.n_outputs > 1:
-        results = _per_output_results_parallel(instance, options, jobs)
-    else:
-        results = [
-            espresso_hf(instance.restrict_to_output(j), options)
-            for j in range(instance.n_outputs)
-        ]
+    tracer = current_tracer()
+    root = None
+    if tracer is not None:
+        # One sweep-level span; serial sub-runs nest their own run spans
+        # under it, parallel workers' spans are adopted under it below.
+        root = tracer.start(
+            f"per_output:{instance.name}",
+            n_outputs=instance.n_outputs,
+            jobs=jobs,
+        )
+    try:
+        if jobs > 1 and instance.n_outputs > 1:
+            results = _per_output_results_parallel(instance, options, jobs)
+        else:
+            results = [
+                espresso_hf(instance.restrict_to_output(j), options)
+                for j in range(instance.n_outputs)
+            ]
+    finally:
+        if tracer is not None:
+            tracer.unwind(root)
     return merge_output_results(instance, results, t_start=t_start)
 
 
@@ -506,16 +540,31 @@ def merge_output_results(
 def _per_output_results_parallel(
     instance: HazardFreeInstance, options: EspressoHFOptions, jobs: int
 ) -> List[HFResult]:
-    """Run the per-output sub-runs on the guard runner's worker pool."""
+    """Run the per-output sub-runs on the guard runner's worker pool.
+
+    With a tracer active, each worker collects its own spans and ships
+    them back on its row; they are adopted into the parent trace here —
+    exactly once per worker, laned by output index (``tid``).
+    """
     from repro.guard.runner import per_output_payload, run_pool
     from repro.pla.writer import format_pla
 
+    tracer = current_tracer()
     pla_text = format_pla(instance)
     payloads = [
-        per_output_payload(pla_text, instance.name, j, options)
+        per_output_payload(
+            pla_text,
+            instance.name,
+            j,
+            options,
+            collect_spans=tracer is not None,
+        )
         for j in range(instance.n_outputs)
     ]
     rows = run_pool(payloads, jobs=jobs)
+    if tracer is not None:
+        for j, row in enumerate(rows):
+            tracer.adopt(row.get("spans") or [], tid=j + 1)
     return [_result_from_row(instance, row) for row in rows]
 
 

@@ -1,0 +1,75 @@
+"""Observability layer: span tracing, metrics, exporters, regression gate.
+
+The paper's headline claim is *speed* (30–135× over exact HFMIN on the
+Figure 8 benchmarks), so this package gives the repository the evidence
+machinery a performance claim needs:
+
+* :mod:`repro.obs.span` — zero-dependency structured spans with
+  context-var propagation (:class:`Span`, :class:`Tracer`,
+  :func:`activate`, :func:`current_tracer`);
+* :mod:`repro.obs.hook` — :class:`ObsHook`, the
+  :class:`~repro.pipeline.manager.PassManager` hook that turns every
+  pass / group / fixed-point application into a span;
+* :mod:`repro.obs.metrics` — counter / gauge / histogram registry with
+  associatively mergeable snapshots (:class:`MetricsRegistry`,
+  :func:`merge_snapshots`, :func:`publish_result_metrics`);
+* :mod:`repro.obs.export` — JSONL, Chrome ``chrome://tracing``, and
+  plain-text top-N exporters;
+* :mod:`repro.obs.regress` — the benchmark regression gate behind
+  ``scripts/bench_gate.py``: noise-aware per-phase / total-time / quality
+  thresholds against the committed ``BENCH_espresso_hf.json`` baseline.
+
+See ``docs/OBSERVABILITY.md`` for the span model, metric naming
+conventions, exporter formats, and how to read a gate failure.
+"""
+
+from repro.obs.export import (
+    spans_from_dicts,
+    to_chrome_trace,
+    to_jsonl,
+    top_spans_report,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.hook import ObsHook
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+    monotone_counters,
+    publish_result_metrics,
+)
+from repro.obs.regress import (
+    GateReport,
+    GateThresholds,
+    compare_snapshots,
+    load_snapshot,
+)
+from repro.obs.span import Span, Tracer, activate, current_tracer
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "activate",
+    "current_tracer",
+    "ObsHook",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_snapshots",
+    "monotone_counters",
+    "publish_result_metrics",
+    "to_jsonl",
+    "to_chrome_trace",
+    "top_spans_report",
+    "write_jsonl",
+    "write_chrome_trace",
+    "spans_from_dicts",
+    "GateReport",
+    "GateThresholds",
+    "compare_snapshots",
+    "load_snapshot",
+]

@@ -1,0 +1,163 @@
+"""Trace exporters: JSONL event stream, Chrome trace format, text report.
+
+Three consumers, three formats:
+
+:func:`to_jsonl`
+    one JSON object per finished span, in start order — the stable
+    machine-readable stream the golden-schema test pins field by field;
+:func:`to_chrome_trace`
+    the Chrome ``chrome://tracing`` / Perfetto "trace event" JSON object
+    format: complete (``"ph": "X"``) events with microsecond ``ts`` /
+    ``dur`` and ``pid`` / ``tid`` lanes (CLI ``--trace-out``);
+:func:`top_spans_report`
+    a plain-text slowest-spans table for terminal reports
+    (:func:`repro.report.minimization_report`).
+
+All exporters read finished spans only: an open span has no duration and
+would serialize as a lie.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Sequence, Union
+
+from repro.obs.span import Span, Tracer
+
+SpanSource = Union[Tracer, Sequence[Span]]
+
+
+def _finished(spans: SpanSource) -> List[Span]:
+    if isinstance(spans, Tracer):
+        return spans.finished_spans()
+    return [s for s in spans if s.end_s is not None]
+
+
+def to_jsonl(spans: SpanSource) -> str:
+    """One JSON object per finished span, newline-delimited, start order.
+
+    Schema per line (pinned by ``data/golden_trace.json``): ``name``,
+    ``span_id``, ``parent_id``, ``start_us``, ``dur_us``, ``pid``,
+    ``tid``, ``attrs``.
+    """
+    lines = []
+    for s in _finished(spans):
+        lines.append(
+            json.dumps(
+                {
+                    "name": s.name,
+                    "span_id": s.span_id,
+                    "parent_id": s.parent_id,
+                    "start_us": round(s.start_s * 1e6, 3),
+                    "dur_us": round(s.duration_s * 1e6, 3),
+                    "pid": s.pid,
+                    "tid": s.tid,
+                    "attrs": s.attrs,
+                },
+                sort_keys=True,
+            )
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_chrome_trace(spans: SpanSource) -> Dict[str, Any]:
+    """Chrome trace-event JSON object (load via ``chrome://tracing``).
+
+    Every finished span becomes one complete event: ``ph="X"``, ``ts`` and
+    ``dur`` in microseconds, ``pid``/``tid`` lanes, span attributes under
+    ``args`` (plus the span/parent ids, so the tree survives the format's
+    flat event list).
+    """
+    events: List[Dict[str, Any]] = []
+    for s in _finished(spans):
+        args = dict(s.attrs)
+        args["span_id"] = s.span_id
+        if s.parent_id is not None:
+            args["parent_id"] = s.parent_id
+        events.append(
+            {
+                "name": s.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": round(s.start_s * 1e6, 3),
+                "dur": round(s.duration_s * 1e6, 3),
+                "pid": s.pid,
+                "tid": s.tid,
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str, spans: SpanSource) -> None:
+    """Serialize :func:`to_chrome_trace` to a file."""
+    with open(path, "w") as fh:
+        json.dump(to_chrome_trace(spans), fh, indent=1)
+        fh.write("\n")
+
+
+def write_jsonl(path: str, spans: SpanSource) -> None:
+    """Serialize :func:`to_jsonl` to a file."""
+    with open(path, "w") as fh:
+        fh.write(to_jsonl(spans))
+
+
+def self_seconds(spans: SpanSource) -> Dict[int, float]:
+    """Per-span *self* time: duration minus direct children's durations.
+
+    Self time is what the top-N report ranks by — a fixed-point span that
+    is slow only because its body passes are slow should not outrank them.
+    Clamped at zero (a child finishing after its parent would otherwise go
+    negative; that cannot happen with strict nesting, but adopted worker
+    spans are only approximately rebased).
+    """
+    finished = _finished(spans)
+    child_sum: Dict[int, float] = {}
+    for s in finished:
+        if s.parent_id is not None:
+            child_sum[s.parent_id] = (
+                child_sum.get(s.parent_id, 0.0) + s.duration_s
+            )
+    return {
+        s.span_id: max(0.0, s.duration_s - child_sum.get(s.span_id, 0.0))
+        for s in finished
+    }
+
+
+def top_spans_report(spans: SpanSource, top: int = 10) -> List[str]:
+    """Plain-text table of the ``top`` spans by self time."""
+    finished = _finished(spans)
+    if not finished:
+        return []
+    selfs = self_seconds(finished)
+    total = sum(selfs.values())
+    ranked = sorted(
+        finished, key=lambda s: selfs[s.span_id], reverse=True
+    )[:top]
+    width = max(len(s.name) for s in ranked)
+    lines = [f"slowest spans (self time, top {len(ranked)} of {len(finished)}):"]
+    for s in ranked:
+        self_s = selfs[s.span_id]
+        share = 100.0 * self_s / total if total else 0.0
+        lines.append(
+            f"  {s.name:<{width}}  {self_s:9.4f}s self "
+            f"{s.duration_s:9.4f}s total  {share:5.1f}%"
+        )
+    return lines
+
+
+def spans_from_dicts(span_dicts: Iterable[Dict[str, Any]]) -> List[Span]:
+    """Rehydrate :meth:`repro.obs.span.Span.as_dict` payloads."""
+    return [
+        Span(
+            name=d["name"],
+            span_id=d["span_id"],
+            parent_id=d.get("parent_id"),
+            start_s=d["start_s"],
+            end_s=d.get("end_s"),
+            attrs=dict(d.get("attrs", {})),
+            pid=d.get("pid", 0),
+            tid=d.get("tid", 0),
+        )
+        for d in span_dicts
+    ]

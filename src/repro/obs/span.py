@@ -1,0 +1,247 @@
+"""Structured span tracing: :class:`Span`, :class:`Tracer`, propagation.
+
+A *span* is one timed region of a run — a pipeline pass, a fixed-point
+loop, a whole minimizer invocation — with a name, a parent, and a small
+attribute dict (cover size, counter deltas, budget state).  A *tracer*
+owns the spans of one run: it hands out monotonically increasing span ids,
+keeps the open-span stack that makes nesting implicit, and records every
+span in start order so exporters (:mod:`repro.obs.export`) can replay the
+run structurally.
+
+Everything here is zero-dependency and deliberately boring:
+
+* timestamps are ``time.perf_counter`` seconds relative to the tracer's
+  epoch, so traces from different processes are each internally
+  consistent (cross-process alignment is :meth:`Tracer.adopt`'s job);
+* span ids are sequential integers — deterministic for a deterministic
+  run, which is what lets ``data/golden_trace.json`` pin the schema;
+* propagation uses a :mod:`contextvars` variable (:func:`activate` /
+  :func:`current_tracer`), so instrumented code pays one context-var read
+  when tracing is off and callers never thread a tracer argument through
+  the engine.
+
+Worker processes cannot share the parent's tracer; they build their own
+(:func:`repro.guard.runner.minimize_payload` with ``collect_spans``) and
+ship finished spans back as plain dicts, which the parent grafts into its
+own trace with :meth:`Tracer.adopt` — re-identified, re-parented under the
+adopting span, and rebased onto the parent clock.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+
+@dataclass
+class Span:
+    """One timed, named, attributed region of a run.
+
+    ``start_s`` / ``end_s`` are seconds since the owning tracer's epoch;
+    ``end_s`` is ``None`` while the span is open.  ``attrs`` values must be
+    JSON-serializable (ints, floats, strings, bools) — exporters dump them
+    verbatim.
+    """
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    start_s: float
+    end_s: Optional[float] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    pid: int = 0
+    tid: int = 0
+
+    @property
+    def duration_s(self) -> float:
+        """Wall duration in seconds (0.0 while still open)."""
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready snapshot (the cross-process wire format)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_s": round(self.start_s, 9),
+            "end_s": None if self.end_s is None else round(self.end_s, 9),
+            "attrs": dict(self.attrs),
+            "pid": self.pid,
+            "tid": self.tid,
+        }
+
+
+class Tracer:
+    """Span factory and container for one run.
+
+    Spans are recorded in *start* order (``spans``), which — together with
+    sequential ids — makes the trace of a deterministic run deterministic
+    up to durations.  The open-span stack gives new spans their parent
+    implicitly; the manager's :class:`~repro.obs.hook.ObsHook` runs
+    strictly nested, so a stack is the whole story.
+    """
+
+    def __init__(self, pid: Optional[int] = None, tid: int = 0):
+        self.pid = os.getpid() if pid is None else pid
+        self.tid = tid
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+        self._next_id = 1
+        self._epoch = time.perf_counter()
+
+    # -- clock ---------------------------------------------------------
+
+    def elapsed_s(self) -> float:
+        """Seconds since the tracer's epoch."""
+        return time.perf_counter() - self._epoch
+
+    # -- span lifecycle --------------------------------------------------
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, or ``None`` outside any span."""
+        return self._stack[-1] if self._stack else None
+
+    def start(self, name: str, **attrs: Any) -> Span:
+        """Open a span under the current one and push it on the stack."""
+        span = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            start_s=self.elapsed_s(),
+            attrs=dict(attrs),
+            pid=self.pid,
+            tid=self.tid,
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        self._stack.append(span)
+        return span
+
+    def finish(self, span: Span, **attrs: Any) -> Span:
+        """Close a span (it must be the innermost open one)."""
+        if not self._stack or self._stack[-1] is not span:
+            raise RuntimeError(
+                f"span {span.name!r} is not the innermost open span"
+            )
+        self._stack.pop()
+        span.attrs.update(attrs)
+        span.end_s = self.elapsed_s()
+        return span
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """``with tracer.span("expand"):`` — open/close around a block."""
+        span = self.start(name, **attrs)
+        try:
+            yield span
+        finally:
+            self.unwind(span)
+
+    def unwind(self, span: Span, **attrs: Any) -> Span:
+        """Finish ``span``, force-closing any still-open descendants.
+
+        An exception escaping mid-pipeline (budget exhaustion, an
+        invariant violation) leaves the spans below the current node open;
+        unwinding marks them ``aborted`` and closes them at the current
+        instant, so the enclosing span can still finish cleanly and the
+        exported trace shows exactly where the run stopped.
+        """
+        while self._stack and self._stack[-1] is not span:
+            inner = self._stack.pop()
+            inner.attrs["aborted"] = True
+            inner.end_s = self.elapsed_s()
+        if not self._stack:
+            raise RuntimeError(f"span {span.name!r} is not open")
+        return self.finish(span, **attrs)
+
+    def finished_spans(self) -> List[Span]:
+        """All closed spans, in start order."""
+        return [s for s in self.spans if s.end_s is not None]
+
+    # -- cross-process adoption ------------------------------------------
+
+    def adopt(
+        self,
+        span_dicts: Sequence[Dict[str, Any]],
+        tid: Optional[int] = None,
+    ) -> List[Span]:
+        """Graft a worker's serialized spans into this trace.
+
+        Ids are re-assigned from this tracer's sequence (preserving the
+        worker's internal parent/child edges); worker root spans are
+        re-parented under the currently open span; times are rebased so the
+        worker's spans end at the adoption instant (workers report a clock
+        relative to *their* epoch, so only the internal offsets are
+        meaningful).  ``tid`` tags the adopted spans (e.g. worker index) so
+        exporters can lane them separately.
+        """
+        if not span_dicts:
+            return []
+        id_map: Dict[int, int] = {}
+        max_end = max(
+            (d["end_s"] for d in span_dicts if d.get("end_s") is not None),
+            default=0.0,
+        )
+        offset = max(0.0, self.elapsed_s() - max_end)
+        parent_id = self._stack[-1].span_id if self._stack else None
+        adopted: List[Span] = []
+        for d in span_dicts:
+            new_id = self._next_id
+            self._next_id += 1
+            id_map[d["span_id"]] = new_id
+            old_parent = d.get("parent_id")
+            span = Span(
+                name=d["name"],
+                span_id=new_id,
+                parent_id=(
+                    id_map[old_parent]
+                    if old_parent in id_map
+                    else parent_id
+                ),
+                start_s=d["start_s"] + offset,
+                end_s=(
+                    None if d.get("end_s") is None else d["end_s"] + offset
+                ),
+                attrs=dict(d.get("attrs", {})),
+                pid=d.get("pid", self.pid),
+                tid=self.tid if tid is None else tid,
+            )
+            self.spans.append(span)
+            adopted.append(span)
+        return adopted
+
+
+# ----------------------------------------------------------------------
+# Context-var propagation
+# ----------------------------------------------------------------------
+
+_ACTIVE: ContextVar[Optional[Tracer]] = ContextVar(
+    "repro_obs_tracer", default=None
+)
+
+
+def current_tracer() -> Optional[Tracer]:
+    """The tracer active in this context, or ``None`` (tracing off)."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def activate(tracer: Optional[Tracer]) -> Iterator[Optional[Tracer]]:
+    """Make ``tracer`` the context's active tracer for the block.
+
+    ``activate(None)`` explicitly disables tracing inside the block —
+    useful for forked worker processes that inherited a parent tracer they
+    must not write into.
+    """
+    token = _ACTIVE.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _ACTIVE.reset(token)

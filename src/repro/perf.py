@@ -56,7 +56,17 @@ class PerfCounters:
         Wall-clock seconds per operator (``expand``, ``reduce``,
         ``irredundant``, ``last_gasp``, ``essentials``, ``make_prime``).
         Nested operators double-count on purpose: ``last_gasp`` includes
-        the IRREDUNDANT call it issues.
+        the IRREDUNDANT call it issues.  Summing this dict therefore
+        overstates total operator time — use :attr:`exclusive_seconds`
+        for anything additive.
+    exclusive_seconds:
+        Wall-clock seconds per operator *excluding* time spent in nested
+        operator timers: ``last_gasp`` here counts only its own scanning
+        and candidate generation, not the inner IRREDUNDANT.  Exclusive
+        times of one run partition disjoint wall intervals, so
+        ``sum(exclusive_seconds.values()) <= runtime_s`` always holds
+        (pinned by ``tests/test_perf_exclusive.py``) — this is the view
+        the benchmark regression gate (:mod:`repro.obs.regress`) diffs.
     """
 
     supercube_calls: int = 0
@@ -73,6 +83,12 @@ class PerfCounters:
     crosscheck_divergences: int = 0
     scalar_fallbacks: int = 0
     op_seconds: Dict[str, float] = field(default_factory=dict)
+    exclusive_seconds: Dict[str, float] = field(default_factory=dict)
+    #: open-timer stack: [name, start, child_seconds] frames (not state
+    #: that travels — snapshots serialize only the accumulated dicts)
+    _op_stack: List[list] = field(
+        default_factory=list, repr=False, compare=False
+    )
 
     @property
     def supercube_hit_rate(self) -> float:
@@ -89,14 +105,25 @@ class PerfCounters:
 
     @contextmanager
     def op_timer(self, name: str) -> Iterator[None]:
-        """Accumulate wall time of the enclosed block under ``name``."""
-        t0 = time.perf_counter()
+        """Accumulate wall time of the enclosed block under ``name``.
+
+        Total time goes to :attr:`op_seconds` (nested timers double-count
+        by design); time net of nested ``op_timer`` blocks goes to
+        :attr:`exclusive_seconds`.
+        """
+        frame = [name, time.perf_counter(), 0.0]
+        self._op_stack.append(frame)
         try:
             yield
         finally:
-            self.op_seconds[name] = (
-                self.op_seconds.get(name, 0.0) + time.perf_counter() - t0
+            total = time.perf_counter() - frame[1]
+            self._op_stack.pop()
+            self.op_seconds[name] = self.op_seconds.get(name, 0.0) + total
+            self.exclusive_seconds[name] = (
+                self.exclusive_seconds.get(name, 0.0) + total - frame[2]
             )
+            if self._op_stack:
+                self._op_stack[-1][2] += total
 
     def merge(self, other: "PerfCounters") -> None:
         """Fold another run's counters into this one (per-output mode)."""
@@ -115,6 +142,10 @@ class PerfCounters:
         self.scalar_fallbacks += other.scalar_fallbacks
         for name, seconds in other.op_seconds.items():
             self.op_seconds[name] = self.op_seconds.get(name, 0.0) + seconds
+        for name, seconds in other.exclusive_seconds.items():
+            self.exclusive_seconds[name] = (
+                self.exclusive_seconds.get(name, 0.0) + seconds
+            )
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-ready snapshot (used by ``scripts/bench_hf.py``)."""
@@ -135,6 +166,9 @@ class PerfCounters:
             "crosscheck_divergences": self.crosscheck_divergences,
             "scalar_fallbacks": self.scalar_fallbacks,
             "op_seconds": {k: round(v, 6) for k, v in self.op_seconds.items()},
+            "exclusive_seconds": {
+                k: round(v, 6) for k, v in self.exclusive_seconds.items()
+            },
         }
 
     @classmethod
@@ -165,6 +199,11 @@ class PerfCounters:
         op_seconds = data.get("op_seconds")
         if isinstance(op_seconds, dict):
             counters.op_seconds = {k: float(v) for k, v in op_seconds.items()}
+        exclusive = data.get("exclusive_seconds")
+        if isinstance(exclusive, dict):
+            counters.exclusive_seconds = {
+                k: float(v) for k, v in exclusive.items()
+            }
         return counters
 
     def summary_lines(self) -> List[str]:
@@ -192,4 +231,10 @@ class PerfCounters:
                 for name, seconds in sorted(self.op_seconds.items())
             )
             lines.append(f"operator time: {ops}")
+        if self.exclusive_seconds:
+            ops = ", ".join(
+                f"{name}: {seconds:.3f}s"
+                for name, seconds in sorted(self.exclusive_seconds.items())
+            )
+            lines.append(f"operator time (exclusive): {ops}")
         return lines

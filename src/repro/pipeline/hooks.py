@@ -10,12 +10,24 @@ no-op default so hooks implement only what they need:
 ``round_finished(fixed_point, state)``
     after each *charged* round of a :class:`~repro.pipeline.base.FixedPoint`;
 ``fixed_point_finished(fixed_point, state, rounds)``
-    after a fixed point exits.
+    after a fixed point exits *normally* (skipped on a cooperative
+    ``state.stop``, preserved for backward compatibility).
+
+Beyond those four, the manager dispatches *extended* structural events —
+``group_started(group, state)`` / ``group_finished(group, state)`` and
+``fixed_point_started(fixed_point, state)`` /
+``fixed_point_exited(fixed_point, state, rounds)`` — which are always
+paired (``finally``-dispatched), even when the body stops early or raises.
+They exist for observers that must mirror the pipeline's structure
+exactly, like the span tracer (:class:`repro.obs.hook.ObsHook`).  The
+manager dispatches them defensively (``getattr``), so duck-typed legacy
+hooks that only implement the original four events keep working.
 
 The hooks here are engine-agnostic (timing, snapshots, trace).  The
 guarded-runtime hooks — budget charging and checked-mode invariants — live
 with the policies they apply: :class:`repro.guard.budget.BudgetChargeHook`
-and :class:`repro.guard.invariants.InvariantCheckHook`.
+and :class:`repro.guard.invariants.InvariantCheckHook`.  The span-tracing
+hook lives with the observability layer: :class:`repro.obs.hook.ObsHook`.
 """
 
 from __future__ import annotations
@@ -38,6 +50,22 @@ class Hook:
         pass
 
     def fixed_point_finished(
+        self, fixed_point: FixedPoint, state: Any, rounds: int
+    ) -> None:
+        pass
+
+    # -- extended structural events (always paired, see module docstring)
+
+    def group_started(self, group: Any, state: Any) -> None:
+        pass
+
+    def group_finished(self, group: Any, state: Any) -> None:
+        pass
+
+    def fixed_point_started(self, fixed_point: FixedPoint, state: Any) -> None:
+        pass
+
+    def fixed_point_exited(
         self, fixed_point: FixedPoint, state: Any, rounds: int
     ) -> None:
         pass

@@ -16,6 +16,12 @@ applying the cross-cutting hooks uniformly around every pass:
 5. **budget** — per-round iteration charging
    (:class:`repro.guard.budget.BudgetChargeHook`).
 
+When a tracer is active (:func:`repro.obs.current_tracer`), drivers append
+a sixth, opt-in hook: **spans** — one structured span per pass / group /
+fixed point (:class:`repro.obs.hook.ObsHook`), fed by the extended,
+always-paired structural events this manager dispatches defensively (see
+:mod:`repro.pipeline.hooks`).
+
 Budget exhaustion is handled here, once, instead of in every driver: a
 :class:`~repro.guard.errors.BudgetExceeded` raised anywhere inside the
 pipeline is caught, the state degrades to its best snapshot with
@@ -82,6 +88,20 @@ class PassManager:
 
     # ------------------------------------------------------------------
 
+    def _dispatch(self, event: str, *args: Any) -> None:
+        """Dispatch an extended structural event defensively.
+
+        The original four hook events are called unconditionally (every
+        hook implements them); the extended events —
+        ``group_started/finished``, ``fixed_point_started/exited`` — are
+        looked up with ``getattr`` so duck-typed legacy hooks that predate
+        them keep working unchanged.
+        """
+        for hook in self.hooks:
+            fn = getattr(hook, event, None)
+            if fn is not None:
+                fn(*args)
+
     def _run_sequence(self, nodes: Sequence[Node], state: Any) -> None:
         for node in nodes:
             if state.stop:
@@ -90,7 +110,11 @@ class PassManager:
                 self._run_step(node, state)
             elif isinstance(node, Group):
                 if node.enabled is None or node.enabled(state):
-                    self._run_sequence(node.body, state)
+                    self._dispatch("group_started", node, state)
+                    try:
+                        self._run_sequence(node.body, state)
+                    finally:
+                        self._dispatch("group_finished", node, state)
             elif isinstance(node, FixedPoint):
                 self._run_fixed_point(node, state)
             else:  # pragma: no cover - spec construction error
@@ -119,20 +143,24 @@ class PassManager:
         if fp.track_convergence:
             state.converged = False
         rounds = 0
-        while fp.max_rounds is None or rounds < fp.max_rounds:
-            size_before = measure(state)
-            self._run_sequence(fp.body, state)
-            rounds += 1
-            if fp.charge:
-                state.iterations += 1
-                for hook in self.hooks:
-                    hook.round_finished(fp, state)
-            if state.stop:
-                return
-            if measure(state) >= size_before:
-                if fp.track_convergence:
-                    state.converged = True
-                break
+        self._dispatch("fixed_point_started", fp, state)
+        try:
+            while fp.max_rounds is None or rounds < fp.max_rounds:
+                size_before = measure(state)
+                self._run_sequence(fp.body, state)
+                rounds += 1
+                if fp.charge:
+                    state.iterations += 1
+                    for hook in self.hooks:
+                        hook.round_finished(fp, state)
+                if state.stop:
+                    return
+                if measure(state) >= size_before:
+                    if fp.track_convergence:
+                        state.converged = True
+                    break
+        finally:
+            self._dispatch("fixed_point_exited", fp, state, rounds)
         for hook in self.hooks:
             hook.fixed_point_finished(fp, state, rounds)
         if fp.track_convergence and not state.converged:

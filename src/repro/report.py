@@ -127,6 +127,7 @@ def minimization_report(
     counters: Optional[PerfCounters] = None,
     status: str = "ok",
     phase_seconds: Optional[Dict[str, float]] = None,
+    spans: Optional[list] = None,
 ) -> str:
     """Human-readable before/after report for one minimization run.
 
@@ -134,7 +135,9 @@ def minimization_report(
     report ends with the performance-engine section: supercube memo hit
     rate, coverage-mask hit rate, probe counts, and per-operator wall time.
     With ``phase_seconds`` it also includes the pipeline's per-pass timing
-    table (:func:`phase_table`).
+    table (:func:`phase_table`).  With ``spans`` (finished
+    :class:`repro.obs.Span` objects from a traced run) it appends the
+    top-N slowest-spans table (:func:`repro.obs.top_spans_report`).
 
     A non-``"ok"`` ``status`` (an :class:`HFResult`'s ``status``) prepends a
     warning: the cover is hazard-free either way, but a degraded or
@@ -167,4 +170,8 @@ def minimization_report(
     if counters is not None:
         lines.append("performance counters:")
         lines.extend(f"  {line}" for line in counters.summary_lines())
+    if spans:
+        from repro.obs import top_spans_report
+
+        lines.extend(top_spans_report(spans))
     return "\n".join(lines)

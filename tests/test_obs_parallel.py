@@ -1,0 +1,137 @@
+"""Parallel-equivalence of the observability layer on the benchmark suite.
+
+Two contracts, checked for every Figure-8 benchmark circuit:
+
+* **metrics** — the merged metrics snapshot of a ``jobs=4`` per-output
+  sweep equals the serial sweep's snapshot on every monotone counter
+  (event counts are deterministic per output, and
+  :func:`repro.obs.merge_snapshots` / :meth:`repro.perf.PerfCounters.merge`
+  are order-insensitive sums, so parallelism must be invisible);
+* **spans** — every span a worker emits appears exactly once in the
+  parent trace after adoption: one ``run:`` root per output, unique span
+  ids, resolvable parent edges, and no span from any worker dropped or
+  duplicated.
+
+Wall-time metrics (gauges, histograms over phase seconds) are *not*
+compared across execution modes: they are real measurements and differ by
+scheduling.  The regression gate only consumes the monotone slice for the
+same reason (:func:`repro.obs.metrics.monotone_counters`).
+"""
+
+import pytest
+
+from repro.bm.benchmarks import BENCHMARKS, build_benchmark
+from repro.hf import EspressoHFOptions, espresso_hf_per_output
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    activate,
+    merge_snapshots,
+    monotone_counters,
+    publish_result_metrics,
+)
+
+MULTI_OUTPUT = [b.name for b in BENCHMARKS if b.n_outputs > 1]
+
+
+def _traced_sweep(name, jobs):
+    tracer = Tracer()
+    with activate(tracer):
+        result = espresso_hf_per_output(
+            build_benchmark(name), EspressoHFOptions(jobs=jobs)
+        )
+    return tracer, result
+
+
+def _monotone_snapshot(result):
+    registry = publish_result_metrics(MetricsRegistry(), result)
+    return monotone_counters(registry.snapshot())
+
+
+class TestMetricsParallelEquivalence:
+    @pytest.mark.parametrize("name", [b.name for b in BENCHMARKS])
+    def test_jobs4_monotone_counters_equal_serial(self, name):
+        _, serial = _traced_sweep(name, jobs=1)
+        _, parallel = _traced_sweep(name, jobs=4)
+        serial_mono = _monotone_snapshot(serial)
+        parallel_mono = _monotone_snapshot(parallel)
+        assert parallel_mono == serial_mono
+        # a sweep that did work has nonzero counters — guards against the
+        # equality passing vacuously on an all-zero snapshot
+        assert any(serial_mono.values()), name
+
+    def test_merge_snapshots_matches_counters_merge(self):
+        # publishing the merged HFResult must equal merging the per-output
+        # published snapshots: the two aggregation paths agree.
+        instance = build_benchmark("stetson-p3")
+        per_output = [
+            espresso_hf_per_output(
+                instance.restrict_to_output(j), EspressoHFOptions()
+            )
+            for j in range(instance.n_outputs)
+        ]
+        folded = {}
+        for res in per_output:
+            folded = merge_snapshots(
+                folded, publish_result_metrics(MetricsRegistry(), res).snapshot()
+            )
+        merged_result = espresso_hf_per_output(instance)
+        assert monotone_counters(folded) == _monotone_snapshot(merged_result)
+
+
+class TestSpanParallelEquivalence:
+    @pytest.mark.parametrize("name", MULTI_OUTPUT)
+    def test_every_worker_span_appears_exactly_once(self, name):
+        tracer, _ = _traced_sweep(name, jobs=4)
+        spans = tracer.finished_spans()
+        assert len(spans) == len(tracer.spans), "open spans left behind"
+
+        # unique ids: adoption re-identifies, nothing collides or repeats
+        ids = [s.span_id for s in spans]
+        assert len(ids) == len(set(ids))
+
+        # every parent edge resolves inside the trace
+        by_id = {s.span_id: s for s in spans}
+        roots = [s for s in spans if s.parent_id is None]
+        assert [r.name for r in roots] == [f"per_output:{name}"]
+        for s in spans:
+            if s.parent_id is not None:
+                assert s.parent_id in by_id
+
+        n_outputs = build_benchmark(name).n_outputs
+        # exactly one worker run-root per output, laned by output index
+        run_roots = [s for s in spans if s.name.startswith("run:")]
+        assert sorted(s.name for s in run_roots) == sorted(
+            f"run:{name}[out{j}].out{j}" for j in range(n_outputs)
+        )
+        assert sorted(s.tid for s in run_roots) == list(
+            range(1, n_outputs + 1)
+        )
+        # each worker's subtree arrived whole: exactly one of each
+        # singleton pass per lane (canonicalize runs once per sub-run)
+        for j in range(n_outputs):
+            lane = [s for s in spans if s.tid == j + 1]
+            assert sum(s.name == "pass:canonicalize" for s in lane) == 1
+            # lane spans all hang under that worker's adopted subtree
+            (root,) = [s for s in lane if s.name.startswith("run:")]
+            for s in lane:
+                if s is root:
+                    continue
+                top = s
+                while top.parent_id is not None and by_id[top.parent_id].tid == s.tid:
+                    top = by_id[top.parent_id]
+                assert top is root
+
+    def test_serial_sweep_nests_run_spans_without_adoption(self):
+        name = "stetson-p3"
+        tracer, _ = _traced_sweep(name, jobs=1)
+        spans = tracer.finished_spans()
+        n_outputs = build_benchmark(name).n_outputs
+        run_roots = [s for s in spans if s.name.startswith("run:")]
+        assert len(run_roots) == n_outputs
+        # serial sub-runs execute in-process: same pid, default lane
+        (per_output_root,) = [s for s in spans if s.parent_id is None]
+        for s in run_roots:
+            assert s.parent_id == per_output_root.span_id
+            assert s.pid == per_output_root.pid
+            assert s.tid == per_output_root.tid

@@ -1,0 +1,363 @@
+"""Span tracer and trace exporter tests.
+
+Three layers:
+
+* :class:`repro.obs.Tracer` unit semantics — nesting, the
+  innermost-only ``finish`` contract, ``unwind`` on aborted runs, and
+  cross-process ``adopt``;
+* golden-schema pinning — a traced run of the two reference instances
+  must produce exactly the span names, nesting, and attribute keys
+  recorded in ``data/golden_trace.json`` (durations are checked for
+  presence and monotonicity only: they are real wall times);
+* exporter round trips — the Chrome trace event stream must carry the
+  exact ``ph``/``ts``/``dur``/``pid``/``tid`` mapping of the spans, and
+  the CLI ``--trace-out`` must cover every executed pipeline pass, in
+  serial, ``--jobs 4``, and ``--timeout`` isolation modes.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.hf.espresso_hf import espresso_hf
+from repro.obs import (
+    Span,
+    Tracer,
+    activate,
+    current_tracer,
+    spans_from_dicts,
+    to_chrome_trace,
+    to_jsonl,
+    top_spans_report,
+)
+from repro.pla import read_pla
+from tests.test_hazards import figure3_instance
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+GOLDEN_PATH = os.path.join(REPO_ROOT, "data", "golden_trace.json")
+BENCH_DIR = os.path.join(REPO_ROOT, "data", "benchmarks")
+
+
+def _traced_run(instance):
+    tracer = Tracer()
+    with activate(tracer):
+        result = espresso_hf(instance)
+    return tracer, result
+
+
+def _instance(name):
+    if name == "figure3":
+        return figure3_instance()
+    return read_pla(os.path.join(BENCH_DIR, f"{name}.pla")).to_instance()
+
+
+class TestTracer:
+    def test_nesting_and_parenting(self):
+        tr = Tracer()
+        a = tr.start("a")
+        b = tr.start("b")
+        assert b.parent_id == a.span_id
+        assert a.parent_id is None
+        assert tr.current is b
+        tr.finish(b)
+        c = tr.start("c")
+        assert c.parent_id == a.span_id
+        tr.finish(c)
+        tr.finish(a)
+        assert tr.current is None
+        assert [s.span_id for s in tr.spans] == [1, 2, 3]
+
+    def test_finish_requires_innermost(self):
+        tr = Tracer()
+        a = tr.start("a")
+        tr.start("b")
+        with pytest.raises(RuntimeError):
+            tr.finish(a)
+
+    def test_finish_attaches_attrs_and_duration(self):
+        tr = Tracer()
+        s = tr.start("s", x=1)
+        tr.finish(s, y=2)
+        assert s.attrs == {"x": 1, "y": 2}
+        assert s.end_s is not None and s.end_s >= s.start_s
+        assert s.duration_s >= 0.0
+
+    def test_unwind_closes_descendants_as_aborted(self):
+        tr = Tracer()
+        outer = tr.start("outer")
+        tr.start("mid")
+        tr.start("inner")
+        tr.unwind(outer, status="stopped")
+        assert tr.current is None
+        by_name = {s.name: s for s in tr.spans}
+        assert by_name["inner"].attrs["aborted"] is True
+        assert by_name["mid"].attrs["aborted"] is True
+        assert "aborted" not in by_name["outer"].attrs
+        assert by_name["outer"].attrs["status"] == "stopped"
+        assert all(s.end_s is not None for s in tr.spans)
+
+    def test_span_contextmanager_closes_on_exception(self):
+        tr = Tracer()
+        with pytest.raises(ValueError):
+            with tr.span("work"):
+                tr.start("sub")
+                raise ValueError("boom")
+        assert tr.current is None
+        assert all(s.end_s is not None for s in tr.spans)
+
+    def test_adopt_reassigns_ids_and_reparents(self):
+        worker = Tracer(pid=123, tid=0)
+        w_root = worker.start("run:x.out0")
+        worker.start("pass:expand")
+        worker.finish(worker.current)
+        worker.finish(w_root)
+
+        parent = Tracer()
+        host = parent.start("per_output:x")
+        adopted = parent.adopt(
+            [s.as_dict() for s in worker.finished_spans()], tid=7
+        )
+        parent.finish(host)
+
+        assert len(adopted) == 2
+        root, child = adopted
+        # worker root hangs under the open host span; internal edges kept
+        assert root.parent_id == host.span_id
+        assert child.parent_id == root.span_id
+        # fresh ids from the parent's sequence, worker pid preserved
+        assert [root.span_id, child.span_id] == [2, 3]
+        assert root.pid == 123 and root.tid == 7 and child.tid == 7
+        # rebased onto the parent clock: nothing ends after "now"
+        assert all(s.end_s <= parent.elapsed_s() for s in adopted)
+        assert all(s.start_s >= 0.0 for s in adopted)
+
+    def test_adopt_empty_is_noop(self):
+        tr = Tracer()
+        assert tr.adopt([]) == []
+        assert tr.spans == []
+
+    def test_activate_restores_previous(self):
+        tr = Tracer()
+        assert current_tracer() is None
+        with activate(tr):
+            assert current_tracer() is tr
+            with activate(None):
+                assert current_tracer() is None
+            assert current_tracer() is tr
+        assert current_tracer() is None
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH) as fh:
+        data = json.load(fh)
+    assert data["suite"] == "espresso-hf-golden-trace"
+    return data["instances"]
+
+
+class TestGoldenTraceSchema:
+    """The traced reference runs match ``data/golden_trace.json`` exactly
+    on names, ids, nesting, and attribute keys; durations only need to
+    exist and be consistent (they are machine-dependent wall times)."""
+
+    @pytest.mark.parametrize("name", ["figure3", "cache-ctrl"])
+    def test_jsonl_schema_matches_golden(self, golden, name):
+        tracer, _ = _traced_run(_instance(name))
+        lines = [
+            json.loads(line)
+            for line in to_jsonl(tracer).splitlines()
+        ]
+        got = [
+            {
+                "name": rec["name"],
+                "span_id": rec["span_id"],
+                "parent_id": rec["parent_id"],
+                "attr_keys": sorted(rec["attrs"]),
+            }
+            for rec in lines
+        ]
+        assert got == golden[name]
+
+    @pytest.mark.parametrize("name", ["figure3", "cache-ctrl"])
+    def test_durations_present_and_monotone(self, golden, name):
+        tracer, _ = _traced_run(_instance(name))
+        spans = tracer.finished_spans()
+        assert len(spans) == len(golden[name])
+        by_id = {s.span_id: s for s in spans}
+        # emission is start order: start times never go backwards
+        starts = [s.start_s for s in spans]
+        assert starts == sorted(starts)
+        for s in spans:
+            assert s.end_s is not None
+            assert s.duration_s >= 0.0
+            if s.parent_id is not None:
+                parent = by_id[s.parent_id]
+                assert s.start_s >= parent.start_s
+                assert s.end_s <= parent.end_s
+
+    def test_golden_covers_structural_spans(self, golden):
+        # cache-ctrl exercises the whole vocabulary: a run root, plain
+        # passes, the minimize group, and both nested fixed points.
+        kinds = {s["name"].split(":")[0] for s in golden["cache-ctrl"]}
+        assert kinds == {"run", "pass", "group", "fixedpoint"}
+
+
+class TestChromeTrace:
+    def test_round_trip_fields(self):
+        tracer, _ = _traced_run(_instance("cache-ctrl"))
+        spans = tracer.finished_spans()
+        doc = to_chrome_trace(tracer)
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        assert len(events) == len(spans)
+        for span, ev in zip(spans, events):
+            assert ev["name"] == span.name
+            assert ev["ph"] == "X"
+            assert ev["cat"] == "repro"
+            assert ev["ts"] == round(span.start_s * 1e6, 3)
+            assert ev["dur"] == round(span.duration_s * 1e6, 3)
+            assert ev["pid"] == span.pid
+            assert ev["tid"] == span.tid
+            assert ev["args"]["span_id"] == span.span_id
+            if span.parent_id is None:
+                assert "parent_id" not in ev["args"]
+            else:
+                assert ev["args"]["parent_id"] == span.parent_id
+
+    def test_open_spans_are_excluded(self):
+        tr = Tracer()
+        done = tr.start("done")
+        tr.finish(done)
+        tr.start("still-open")
+        doc = to_chrome_trace(tr)
+        assert [e["name"] for e in doc["traceEvents"]] == ["done"]
+        assert to_jsonl(tr).count("\n") == 1
+
+    def test_span_dict_round_trip(self):
+        tr = Tracer()
+        s = tr.start("x", k=1)
+        tr.finish(s)
+        (back,) = spans_from_dicts([s.as_dict()])
+        assert isinstance(back, Span)
+        assert (back.name, back.span_id, back.attrs) == ("x", 1, {"k": 1})
+
+
+class TestTopSpansReport:
+    def test_ranks_by_self_time(self):
+        tr = Tracer()
+        parent = Span("parent", 1, None, 0.0, 10.0)
+        child = Span("child", 2, 1, 1.0, 9.0)
+        tr.spans = [parent, child]
+        lines = top_spans_report(tr)
+        # parent self = 2s, child self = 8s: child ranks first
+        assert lines[0].startswith("slowest spans")
+        assert "child" in lines[1]
+        assert "parent" in lines[2]
+
+    def test_empty_trace_is_empty_report(self):
+        assert top_spans_report(Tracer()) == []
+
+
+def _pass_names(trace_path):
+    with open(trace_path) as fh:
+        doc = json.load(fh)
+    return [
+        e["name"] for e in doc["traceEvents"] if e["name"].startswith("pass:")
+    ]
+
+
+class TestCliTraceOut:
+    def test_serial_trace_covers_every_executed_pass(self, tmp_path, golden):
+        trace = tmp_path / "t.json"
+        out = tmp_path / "o.pla"
+        code = main(
+            [
+                os.path.join(BENCH_DIR, "cache-ctrl.pla"),
+                "--trace-out",
+                str(trace),
+                "-o",
+                str(out),
+            ]
+        )
+        assert code == 0
+        expected = [
+            s["name"]
+            for s in golden["cache-ctrl"]
+            if s["name"].startswith("pass:")
+        ]
+        assert _pass_names(trace) == expected
+
+    def test_jobs4_trace_has_every_worker_exactly_once(self, tmp_path):
+        trace = tmp_path / "t.json"
+        out = tmp_path / "o.pla"
+        pla = read_pla(os.path.join(BENCH_DIR, "cache-ctrl.pla"))
+        n_outputs = pla.to_instance().n_outputs
+        code = main(
+            [
+                os.path.join(BENCH_DIR, "cache-ctrl.pla"),
+                "--jobs",
+                "4",
+                "--trace-out",
+                str(trace),
+                "-o",
+                str(out),
+            ]
+        )
+        assert code == 0
+        with open(trace) as fh:
+            events = json.load(fh)["traceEvents"]
+        run_events = [e for e in events if e["name"].startswith("run:")]
+        # exactly one worker run span per output, laned by output index
+        names = sorted(e["name"] for e in run_events)
+        assert names == sorted(
+            f"run:cache-ctrl[out{j}].out{j}" for j in range(n_outputs)
+        )
+        assert sorted(e["tid"] for e in run_events) == list(
+            range(1, n_outputs + 1)
+        )
+        # every worker ran the pipeline: each has at least a canonicalize
+        for j in range(n_outputs):
+            worker_passes = [
+                e
+                for e in events
+                if e["tid"] == j + 1 and e["name"] == "pass:canonicalize"
+            ]
+            assert len(worker_passes) == 1
+
+    def test_timeout_isolation_ships_spans_back(self, tmp_path, golden):
+        trace = tmp_path / "t.json"
+        out = tmp_path / "o.pla"
+        code = main(
+            [
+                os.path.join(BENCH_DIR, "cache-ctrl.pla"),
+                "--timeout",
+                "120",
+                "--trace-out",
+                str(trace),
+                "-o",
+                str(out),
+                "--bundle-dir",
+                str(tmp_path / "bundles"),
+            ]
+        )
+        assert code == 0
+        expected = [
+            s["name"]
+            for s in golden["cache-ctrl"]
+            if s["name"].startswith("pass:")
+        ]
+        assert _pass_names(trace) == expected
+
+    def test_no_trace_flag_leaves_tracing_off(self, tmp_path):
+        out = tmp_path / "o.pla"
+        code = main(
+            [
+                os.path.join(BENCH_DIR, "dram-ctrl.pla"),
+                "-o",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert current_tracer() is None

@@ -1,0 +1,158 @@
+"""``PerfCounters.exclusive_seconds``: the additive view of operator time.
+
+``op_seconds`` double-counts nested operators by design — ``last_gasp``
+includes the IRREDUNDANT call it issues — so summing it overstates total
+operator time.  ``exclusive_seconds`` subtracts time spent inside nested
+``op_timer`` blocks, which makes it a partition of disjoint wall
+intervals: the view the benchmark regression gate diffs
+(:mod:`repro.obs.regress`), and the one with the law this module pins on
+every benchmark circuit::
+
+    sum(exclusive_seconds.values()) <= runtime_s
+"""
+
+import time
+
+import pytest
+
+from repro.bm.benchmarks import BENCHMARKS, build_benchmark
+from repro.hf import espresso_hf
+from repro.perf import PerfCounters
+
+
+def _busy(seconds):
+    # sleep() is fine here: op_timer measures wall clock, and sleeping is
+    # far more stable under CI load than spinning.
+    time.sleep(seconds)
+
+
+class TestOpTimerSemantics:
+    def test_flat_timers_match_totals(self):
+        perf = PerfCounters()
+        with perf.op_timer("a"):
+            _busy(0.01)
+        with perf.op_timer("b"):
+            _busy(0.01)
+        assert perf.exclusive_seconds["a"] == pytest.approx(
+            perf.op_seconds["a"]
+        )
+        assert perf.exclusive_seconds["b"] == pytest.approx(
+            perf.op_seconds["b"]
+        )
+
+    def test_nested_timer_total_includes_child_exclusive_does_not(self):
+        perf = PerfCounters()
+        with perf.op_timer("last_gasp"):
+            _busy(0.01)
+            with perf.op_timer("irredundant"):
+                _busy(0.02)
+        # total view double-counts: the outer includes the inner
+        assert perf.op_seconds["last_gasp"] >= 0.03
+        assert perf.op_seconds["irredundant"] >= 0.02
+        # exclusive view does not: the outer keeps only its own 10ms
+        assert perf.exclusive_seconds["last_gasp"] < 0.025
+        assert perf.exclusive_seconds["last_gasp"] >= 0.01
+        assert perf.exclusive_seconds["irredundant"] == pytest.approx(
+            perf.op_seconds["irredundant"]
+        )
+
+    def test_doubly_nested_and_sibling_children(self):
+        perf = PerfCounters()
+        with perf.op_timer("outer"):
+            with perf.op_timer("mid"):
+                with perf.op_timer("inner"):
+                    _busy(0.01)
+            with perf.op_timer("inner"):
+                _busy(0.01)
+        total = sum(perf.exclusive_seconds.values())
+        # exclusive times partition the outer block's wall interval
+        assert total <= perf.op_seconds["outer"] + 1e-6
+        assert perf.exclusive_seconds["inner"] == pytest.approx(
+            perf.op_seconds["inner"]
+        )
+
+    def test_reentrant_same_name_accumulates(self):
+        perf = PerfCounters()
+        for _ in range(3):
+            with perf.op_timer("expand"):
+                _busy(0.002)
+        assert perf.exclusive_seconds["expand"] == pytest.approx(
+            perf.op_seconds["expand"]
+        )
+        assert perf.op_seconds["expand"] >= 0.006
+
+    def test_exception_still_charges_and_pops_frame(self):
+        perf = PerfCounters()
+        with pytest.raises(ValueError):
+            with perf.op_timer("outer"):
+                with perf.op_timer("inner"):
+                    raise ValueError("boom")
+        assert not perf._op_stack
+        assert "inner" in perf.exclusive_seconds
+        # the failed inner block still counts as the outer's child time
+        assert perf.exclusive_seconds["outer"] <= perf.op_seconds["outer"]
+
+
+class TestMergeAndSerialization:
+    def test_merge_sums_exclusive_seconds(self):
+        a, b = PerfCounters(), PerfCounters()
+        a.exclusive_seconds = {"expand": 1.0, "reduce": 0.5}
+        b.exclusive_seconds = {"expand": 2.0, "last_gasp": 0.25}
+        a.merge(b)
+        assert a.exclusive_seconds == {
+            "expand": 3.0,
+            "reduce": 0.5,
+            "last_gasp": 0.25,
+        }
+
+    def test_dict_round_trip(self):
+        perf = PerfCounters()
+        with perf.op_timer("expand"):
+            _busy(0.001)
+        back = PerfCounters.from_dict(perf.as_dict())
+        assert set(back.exclusive_seconds) == {"expand"}
+        assert back.exclusive_seconds["expand"] == pytest.approx(
+            perf.exclusive_seconds["expand"], abs=1e-6
+        )
+
+    def test_pre_exclusive_snapshots_load_empty(self):
+        # baselines written before this field existed must keep loading
+        back = PerfCounters.from_dict({"supercube_calls": 3})
+        assert back.exclusive_seconds == {}
+        assert back.supercube_calls == 3
+
+    def test_summary_lines_include_exclusive_view(self):
+        perf = PerfCounters()
+        with perf.op_timer("expand"):
+            _busy(0.001)
+        joined = "\n".join(perf.summary_lines())
+        assert "operator time (exclusive):" in joined
+
+
+class TestExclusivePartitionOnBenchmarks:
+    @pytest.mark.parametrize("name", [b.name for b in BENCHMARKS])
+    def test_sum_exclusive_bounded_by_runtime(self, name):
+        result = espresso_hf(build_benchmark(name))
+        exclusive = result.counters.exclusive_seconds
+        assert exclusive, name
+        total_exclusive = sum(exclusive.values())
+        total_op = sum(result.counters.op_seconds.values())
+        # exclusive intervals are disjoint slices of the run's wall time
+        assert total_exclusive <= result.runtime_s + 1e-9, name
+        # and never exceed the double-counting total view
+        assert total_exclusive <= total_op + 1e-9, name
+        # operators that never nest agree exactly across both views
+        for op in ("expand", "reduce"):
+            if op in exclusive:
+                assert exclusive[op] == pytest.approx(
+                    result.counters.op_seconds[op]
+                ), (name, op)
+
+    def test_last_gasp_exclusive_excludes_inner_irredundant(self):
+        # cache-ctrl exercises LAST_GASP with its inner IRREDUNDANT; the
+        # exclusive view must be strictly tighter than the total view.
+        result = espresso_hf(build_benchmark("cache-ctrl"))
+        ops = result.counters.op_seconds
+        exclusive = result.counters.exclusive_seconds
+        assert "last_gasp" in ops
+        assert exclusive["last_gasp"] <= ops["last_gasp"]

@@ -252,3 +252,63 @@ class TestEndToEndInvariants:
             inst.on, inst.off, reordered, name=inst.name, validate=False
         )
         assert not verify_hazard_free_cover(shuffled, res.cover)
+
+
+# -- observability: histogram laws (see repro.obs.metrics) ---------------
+
+#: finite observation values spanning every time bucket and the overflow
+_observations = st.lists(
+    st.floats(
+        min_value=0.0, max_value=1e4, allow_nan=False, allow_infinity=False
+    ),
+    max_size=50,
+)
+
+#: strictly increasing boundary tuples, 1-6 edges
+_boundaries = st.lists(
+    st.floats(
+        min_value=1e-6, max_value=1e3, allow_nan=False, allow_infinity=False
+    ),
+    min_size=1,
+    max_size=6,
+    unique=True,
+).map(sorted)
+
+
+class TestHistogramLaws:
+    """``sum``/``count`` always match the raw observations, no observation
+    is ever lost or double-bucketed, and snapshot merging respects both —
+    the laws the parallel per-output metric aggregation relies on."""
+
+    @given(_boundaries, _observations)
+    def test_sum_and_count_match_raw_observations(self, bounds, obs):
+        import bisect
+
+        from repro.obs import Histogram
+
+        h = Histogram(bounds)
+        for v in obs:
+            h.observe(v)
+        assert h.count == len(obs)
+        assert h.sum == sum(obs)  # same floats, same order: exact
+        assert sum(h.counts) == len(obs)
+        # every observation lands in exactly the upper-inclusive bucket
+        expected = [0] * (len(bounds) + 1)
+        for v in obs:
+            expected[bisect.bisect_left(h.boundaries, float(v))] += 1
+        assert h.counts == expected
+
+    @given(_boundaries, _observations, _observations)
+    def test_merge_preserves_sum_and_count(self, bounds, obs_a, obs_b):
+        from repro.obs import Histogram, merge_snapshots
+
+        def snap(obs):
+            h = Histogram(bounds)
+            for v in obs:
+                h.observe(v)
+            return {"h": h.as_dict()}
+
+        merged = merge_snapshots(snap(obs_a), snap(obs_b))["h"]
+        assert merged["count"] == len(obs_a) + len(obs_b)
+        assert merged["sum"] == sum(obs_a) + sum(obs_b)
+        assert sum(merged["counts"]) == merged["count"]
