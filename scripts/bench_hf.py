@@ -19,6 +19,13 @@ Usage::
     python scripts/bench_hf.py --repeats 5 --output /tmp/bench.json
     python scripts/bench_hf.py --timeout 60           # 60s cap per circuit
     python scripts/bench_hf.py --trace-out bench.trace.json   # Chrome trace
+
+Phase wall-time gates (used by CI's ``bench-essentials`` step)::
+
+    python scripts/bench_hf.py --max-phase-share essentials=0.65
+    python scripts/bench_hf.py --phase-budget essentials=0.5
+    python scripts/bench_hf.py --from-snapshot artifacts/bench-current.json \\
+        --max-phase-share essentials=0.65     # gate a snapshot, no sweep
 """
 
 from __future__ import annotations
@@ -129,6 +136,58 @@ def write_snapshot(snapshot: Dict, path: str) -> None:
         fh.write("\n")
 
 
+def _parse_limit(spec: str, kind: str) -> "tuple[str, float]":
+    """Parse a ``NAME=NUMBER`` limit spec (phase budget / share)."""
+    name, sep, value = spec.partition("=")
+    if not sep or not name:
+        raise ValueError(f"{kind} must look like NAME=NUMBER, got {spec!r}")
+    try:
+        return name, float(value)
+    except ValueError:
+        raise ValueError(f"{kind} {spec!r}: {value!r} is not a number")
+
+
+def check_phase_limits(
+    snapshot: Dict,
+    budgets: Optional[Sequence[str]] = None,
+    shares: Optional[Sequence[str]] = None,
+) -> List[str]:
+    """Evaluate phase wall-time limits against a suite snapshot.
+
+    ``budgets`` are ``NAME=SECONDS`` caps on ``phase_seconds_total[NAME]``;
+    ``shares`` are ``NAME=FRACTION`` caps on that phase's share of the
+    summed phase time (hardware-independent, the form CI gates on — the
+    essentials engine is pinned below the share at which it once
+    dominated the profile).  Returns human-readable violation lines,
+    empty when every limit holds.  An unknown phase name is a violation:
+    a silently skipped gate is worse than a loud configuration error.
+    """
+    totals = snapshot.get("phase_seconds_total", {})
+    whole = sum(totals.values())
+    violations: List[str] = []
+    for spec in budgets or []:
+        name, cap = _parse_limit(spec, "--phase-budget")
+        if name not in totals:
+            violations.append(f"phase-budget {name}: no such phase in snapshot")
+        elif totals[name] > cap:
+            violations.append(
+                f"phase-budget {name}: {totals[name]:.3f}s > {cap:.3f}s cap"
+            )
+    for spec in shares or []:
+        name, cap = _parse_limit(spec, "--max-phase-share")
+        if name not in totals:
+            violations.append(
+                f"max-phase-share {name}: no such phase in snapshot"
+            )
+        elif whole > 0 and totals[name] / whole > cap:
+            violations.append(
+                f"max-phase-share {name}: "
+                f"{totals[name] / whole:.1%} of {whole:.3f}s phase time "
+                f"> {cap:.0%} cap"
+            )
+    return violations
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -175,7 +234,47 @@ def main(argv=None) -> int:
         default=DEFAULT_SNAPSHOT,
         help="snapshot path (default: BENCH_espresso_hf.json at repo root)",
     )
+    parser.add_argument(
+        "--from-snapshot",
+        metavar="FILE",
+        help="evaluate --phase-budget/--max-phase-share against an "
+        "existing snapshot instead of running the sweep (nothing is "
+        "written)",
+    )
+    parser.add_argument(
+        "--phase-budget",
+        action="append",
+        metavar="NAME=SECONDS",
+        help="fail (exit 1) if the suite-wide wall time of a pipeline "
+        "phase exceeds the cap; repeatable",
+    )
+    parser.add_argument(
+        "--max-phase-share",
+        action="append",
+        metavar="NAME=FRACTION",
+        help="fail (exit 1) if a phase exceeds this fraction of the "
+        "summed phase time; repeatable",
+    )
     args = parser.parse_args(argv)
+
+    if args.from_snapshot:
+        try:
+            with open(args.from_snapshot) as fh:
+                snapshot = json.load(fh)
+            violations = check_phase_limits(
+                snapshot, args.phase_budget, args.max_phase_share
+            )
+        except (OSError, ValueError) as exc:
+            parser.error(str(exc))
+        for line in violations:
+            print(f"FAIL {line}")
+        if not violations:
+            totals = snapshot.get("phase_seconds_total", {})
+            print(
+                f"phase limits ok ({args.from_snapshot}: "
+                f"{sum(totals.values()):.3f}s phase time)"
+            )
+        return 1 if violations else 0
 
     tracer = None
     if args.trace_out:
@@ -201,11 +300,16 @@ def main(argv=None) -> int:
         write_chrome_trace(args.trace_out, tracer)
         print(f"trace -> {args.trace_out}")
     print(f"total {snapshot['total_time_s']:.3f}s -> {args.output}")
+    violations = check_phase_limits(
+        snapshot, args.phase_budget, args.max_phase_share
+    )
+    for line in violations:
+        print(f"FAIL {line}")
     rows = snapshot["circuits"]
     clean = all(
         r["status"] == "ok" and r.get("verified", True) for r in rows
     )
-    return 0 if clean else 1
+    return 0 if clean and not violations else 1
 
 
 if __name__ == "__main__":

@@ -132,6 +132,20 @@ def expand_one(
     scache = ctx._supercube_cache
     supercube = ctx.supercube_dhf_bits
     probes = sc_hits = 0
+    # Anchor-based pair prefilter on the escape rows (if ESSENTIALS built
+    # them): a probe X ∪ Y can only be dhf-feasible if the required cubes
+    # the two sides cover are pairwise dhf-pairable, so a cleared
+    # escape-row bit between one anchor of each side proves the probe
+    # returns None — skip it without touching the supercube memo.
+    rows_sel = ctx._escape_rows_sel
+    anchor_row = None
+    slot_anchor: List[Optional[int]] = []
+    if rows_sel:
+        cbits = ctx.coverage.covered_bits
+        acov = cbits(cube.inbits, cube.outbits) & rows_sel
+        if acov:
+            anchor_row = ctx._escape_rows[(acov & -acov).bit_length() - 1]
+            slot_anchor = [None] * len(slots)
     # Phase 1: dhf-feasibly covered cubes of F (primary goal).
     while True:
         best: Optional[Cube] = None
@@ -140,6 +154,14 @@ def expand_one(
         for j, other in enumerate(slots):
             if other is None or j == idx or cube.contains(other):
                 continue
+            if anchor_row is not None:
+                a = slot_anchor[j]
+                if a is None:
+                    oc = cbits(other.inbits, other.outbits) & rows_sel
+                    a = (oc & -oc).bit_length() - 1 if oc else -1
+                    slot_anchor[j] = a
+                if a >= 0 and not (anchor_row >> a) & 1:
+                    continue
             outbits = cube.outbits | other.outbits
             probes += 1
             r_bits = cube.inbits | other.inbits
@@ -170,7 +192,14 @@ def expand_one(
     perf.supercube_calls += sc_hits
     perf.supercube_cache_hits += sc_hits
     # Phase 2: dhf-feasibly covered required cubes (secondary goal).
-    cube = expand_toward_required(cube, reqs, ctx, sel, candidates)
+    allowed = None
+    if rows_sel:
+        acov = cbits(cube.inbits, cube.outbits) & rows_sel
+        if acov:
+            allowed = ctx._escape_rows[(acov & -acov).bit_length() - 1]
+    cube = expand_toward_required(
+        cube, reqs, ctx, sel, candidates, allowed=allowed
+    )
     return cube
 
 
@@ -194,8 +223,28 @@ def expand_toward_required(
     ctx: HFContext,
     sel: Optional[int] = None,
     candidates: Optional[dict] = None,
+    allowed: Optional[int] = None,
+    support_out: Optional[List[int]] = None,
 ) -> Cube:
-    """Greedily absorb required cubes while any absorption is dhf-feasible."""
+    """Greedily absorb required cubes while any absorption is dhf-feasible.
+
+    ``allowed`` optionally restricts the candidates probed to a position
+    mask of *possibly feasible* partners.  It is an exact filter, not a
+    heuristic: callers must guarantee that every excluded candidate's
+    probe would return ``None`` (the batched essentials engine passes the
+    seed's escape row, whose cleared bits are proven infeasible by the
+    seed-level OFF-set check).  Skipped candidates therefore never carry a
+    gain, so the greedy choice — and the resulting cube — is unchanged.
+
+    ``support_out``, if given, is a one-element list whose slot is ORed
+    with the *gain support* of the run: the union of ``covered_bits`` of
+    every feasible probed expansion.  The greedy trace reads the
+    selection only through these masks — every gain counts positions
+    from them, and a probed candidate sits inside its own supercube's
+    covered set — so a caller may memoize the result and keep it valid
+    across any selection shrink that misses the support (the batched
+    essentials engine's incremental fixpoint relies on exactly this).
+    """
     cov = ctx.coverage
     if sel is None:
         sel = cov.selection_mask(reqs)
@@ -205,25 +254,70 @@ def expand_toward_required(
     covered_bits = cov.covered_bits
     scache = ctx._supercube_cache
     supercube = ctx.supercube_dhf_bits
+    erows = ctx._escape_rows
     probes = sc_hits = 0
     if candidates is None:
         candidates = required_candidates(reqs, ctx)
     cin, cout = cube.inbits, cube.outbits
+    # Exact candidate filter from the escape rows (when ESSENTIALS built
+    # them): the expansion's result covers everything the current cube
+    # covers, so an absorbable candidate must be pairable with *every*
+    # covered position — ``inter``, the running AND of their rows, drops
+    # provably infeasible candidates without probing (containment lemma:
+    # a cleared pair bit means no dhf-implicant covers both cubes).
+    use_rows = bool(erows)
+    inter = -1
+    prev_cov = 0
+    support = 0
+    # Combined-cache fast path for the per-probe gain masks: the
+    # universe is static inside one expansion, so a fresh cache entry is
+    # exactly what ``covered_bits`` would return — stale or missing
+    # entries fall back to the real call.  Bypassed in scalar mode.
+    ccache = cov._combined_cache if not cov.scalar_mode else None
+    ulen = len(cov)
     # Scanning set bits of ``uncovered`` visits candidates in ascending
     # universe position — the same order as the required list (positions
     # are assigned in registration order), so tie-breaking is unchanged.
+    cov_now = None
     while True:
         ctx.checkpoint("expand")
-        uncovered = sel & ~covered_bits(cin, cout)
+        if cov_now is None:
+            cov_now = covered_bits(cin, cout)
+        uncovered = sel & ~cov_now
         if not uncovered:
             break
+        if use_rows:
+            new = cov_now & ~prev_cov
+            prev_cov = cov_now
+            while new:
+                b = new & -new
+                new ^= b
+                row = erows.get(b.bit_length() - 1)
+                if row is not None:
+                    inter &= row
         best = None
         best_gain = 0
-        m = uncovered
+        m = uncovered if allowed is None else uncovered & allowed
+        if use_rows:
+            m &= inter
         while m:
             low = m & -m
             m ^= low
-            q_in, q_out = candidates[low.bit_length() - 1]
+            pos = low.bit_length() - 1
+            if best_gain:
+                # Gain bound without probing: an expansion absorbing this
+                # candidate covers only required cubes pairable with it
+                # *and* with every already-covered cube, so the row AND
+                # ``inter`` caps the gain.  Skipping candidates that
+                # provably cannot *strictly* beat the running best
+                # preserves the greedy trace.
+                row = erows.get(pos)
+                if (
+                    row is not None
+                    and popcount(row & uncovered & inter) <= best_gain
+                ):
+                    continue
+            q_in, q_out = candidates[pos]
             outbits = cout | q_out
             probes += 1
             r_bits = cin | q_in
@@ -234,16 +328,30 @@ def expand_toward_required(
                 sc_hits += 1
             if sup_in is None:
                 continue
-            gain = popcount(covered_bits(sup_in, outbits) & uncovered)
+            if ccache is not None:
+                cached = ccache.get((sup_in, outbits))
+                if cached is not None and cached[0] == ulen:
+                    perf.coverage_mask_hits += 1
+                    cov_sup = cached[1]
+                else:
+                    cov_sup = covered_bits(sup_in, outbits)
+            else:
+                cov_sup = covered_bits(sup_in, outbits)
+            support |= cov_sup
+            gain = popcount(cov_sup & uncovered)
             if gain > best_gain:
                 best_gain = gain
                 best = (sup_in, outbits)
+                best_cov = cov_sup
         if best is None:
             break
         cin, cout = best
+        cov_now = best_cov
     perf.expand_probes += probes
     perf.supercube_calls += sc_hits
     perf.supercube_cache_hits += sc_hits
+    if support_out is not None:
+        support_out[0] |= support
     if cin == cube.inbits and cout == cube.outbits:
         return cube
     return Cube(ctx.n_inputs, cin, cout, ctx.n_outputs)

@@ -52,6 +52,29 @@ class PerfCounters:
         nonzero divergence count on a run is a caught engine bug — the
         result is still correct (the run continued on the scalar path) but
         the event must be investigated.
+    escape_rows_built:
+        Escape-row prefilter rows constructed by the batched essentials
+        engine (one per canonical required cube of the instance).
+    escape_swar_filtered:
+        Pair probes answered by the SWAR seed-level OFF-set filter alone —
+        each is a ``supercube_dhf`` fixpoint that never had to run.
+    escape_probe_hits:
+        Escape-row probes answered from the supercube memo table.  Counted
+        at probe time (the old lump-sum accounting misstated interleaving
+        in span-correlated metrics); these probes also count toward
+        ``supercube_calls`` / ``supercube_cache_hits``.
+    essentials_rescans_avoided:
+        Seed re-examinations skipped by the incremental essentials
+        fixpoint because no removed required cube intersected the seed's
+        escape-row trigger set — the examination verdict is provably
+        unchanged, so neither the greedy expansion nor the distinguished
+        scan reruns.
+    essentials_memo_peak:
+        Peak entry count across the essentials engine's per-instance memo
+        tables (expansion memo, escape rows, escape verdicts).  The
+        tables are cleared when ``compute_essentials`` returns, so
+        service-style runs don't accumulate per-instance state; merging
+        takes the max, not the sum.
     op_seconds:
         Wall-clock seconds per operator (``expand``, ``reduce``,
         ``irredundant``, ``last_gasp``, ``essentials``, ``make_prime``).
@@ -82,6 +105,11 @@ class PerfCounters:
     invariant_checks: int = 0
     crosscheck_divergences: int = 0
     scalar_fallbacks: int = 0
+    escape_rows_built: int = 0
+    escape_swar_filtered: int = 0
+    escape_probe_hits: int = 0
+    essentials_rescans_avoided: int = 0
+    essentials_memo_peak: int = 0
     op_seconds: Dict[str, float] = field(default_factory=dict)
     exclusive_seconds: Dict[str, float] = field(default_factory=dict)
     #: open-timer stack: [name, start, child_seconds] frames (not state
@@ -140,6 +168,13 @@ class PerfCounters:
         self.invariant_checks += other.invariant_checks
         self.crosscheck_divergences += other.crosscheck_divergences
         self.scalar_fallbacks += other.scalar_fallbacks
+        self.escape_rows_built += other.escape_rows_built
+        self.escape_swar_filtered += other.escape_swar_filtered
+        self.escape_probe_hits += other.escape_probe_hits
+        self.essentials_rescans_avoided += other.essentials_rescans_avoided
+        self.essentials_memo_peak = max(
+            self.essentials_memo_peak, other.essentials_memo_peak
+        )
         for name, seconds in other.op_seconds.items():
             self.op_seconds[name] = self.op_seconds.get(name, 0.0) + seconds
         for name, seconds in other.exclusive_seconds.items():
@@ -165,6 +200,11 @@ class PerfCounters:
             "invariant_checks": self.invariant_checks,
             "crosscheck_divergences": self.crosscheck_divergences,
             "scalar_fallbacks": self.scalar_fallbacks,
+            "escape_rows_built": self.escape_rows_built,
+            "escape_swar_filtered": self.escape_swar_filtered,
+            "escape_probe_hits": self.escape_probe_hits,
+            "essentials_rescans_avoided": self.essentials_rescans_avoided,
+            "essentials_memo_peak": self.essentials_memo_peak,
             "op_seconds": {k: round(v, 6) for k, v in self.op_seconds.items()},
             "exclusive_seconds": {
                 k: round(v, 6) for k, v in self.exclusive_seconds.items()
@@ -193,6 +233,11 @@ class PerfCounters:
             "invariant_checks",
             "crosscheck_divergences",
             "scalar_fallbacks",
+            "escape_rows_built",
+            "escape_swar_filtered",
+            "escape_probe_hits",
+            "essentials_rescans_avoided",
+            "essentials_memo_peak",
         ):
             if name in data:
                 setattr(counters, name, int(data[name]))
@@ -219,6 +264,14 @@ class PerfCounters:
             f"mincov: {self.mincov_problems} problems, "
             f"{self.mincov_rows} rows, {self.mincov_nodes} nodes",
         ]
+        if self.escape_rows_built:
+            lines.append(
+                f"essentials engine: {self.escape_rows_built} escape rows, "
+                f"{self.escape_swar_filtered} probes SWAR-filtered, "
+                f"{self.escape_probe_hits} probe memo hits, "
+                f"{self.essentials_rescans_avoided} rescans avoided "
+                f"(memo peak {self.essentials_memo_peak})"
+            )
         if self.invariant_checks:
             lines.append(
                 f"checked mode: {self.invariant_checks} invariant checks, "

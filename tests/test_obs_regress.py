@@ -343,3 +343,71 @@ class TestCommittedBaselineLoads:
         )
         report = compare_snapshots(snap, copy.deepcopy(snap))
         assert report.passed and not report.warnings
+
+
+def _load_bench_hf():
+    scripts = os.path.join(REPO_ROOT, "scripts")
+    if scripts not in sys.path:
+        sys.path.insert(0, scripts)
+    spec = importlib.util.spec_from_file_location(
+        "bench_hf", os.path.join(scripts, "bench_hf.py")
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestPhaseLimits:
+    """The phase wall-time gates of ``scripts/bench_hf.py`` — the
+    ``check_phase_limits`` matrix on synthetic snapshots plus the
+    ``--from-snapshot`` CLI path CI's essentials-share gate uses."""
+
+    @pytest.fixture(scope="class")
+    def bench_hf(self):
+        return _load_bench_hf()
+
+    @pytest.fixture
+    def snapshot(self):
+        return {
+            "phase_seconds_total": {"essentials": 0.6, "expand": 0.4}
+        }
+
+    def test_within_limits_returns_no_violations(self, bench_hf, snapshot):
+        out = bench_hf.check_phase_limits(
+            snapshot,
+            budgets=["essentials=1.0"],
+            shares=["essentials=0.65"],
+        )
+        assert out == []
+
+    def test_budget_exceeded(self, bench_hf, snapshot):
+        out = bench_hf.check_phase_limits(snapshot, budgets=["essentials=0.5"])
+        assert len(out) == 1 and "essentials" in out[0] and "cap" in out[0]
+
+    def test_share_exceeded(self, bench_hf, snapshot):
+        out = bench_hf.check_phase_limits(snapshot, shares=["essentials=0.5"])
+        assert len(out) == 1 and "60.0%" in out[0]
+
+    def test_unknown_phase_is_a_violation(self, bench_hf, snapshot):
+        # a silently skipped gate would be worse than a loud error
+        out = bench_hf.check_phase_limits(snapshot, budgets=["nosuch=1.0"])
+        assert out and "no such phase" in out[0]
+
+    def test_malformed_spec_raises(self, bench_hf, snapshot):
+        with pytest.raises(ValueError):
+            bench_hf.check_phase_limits(snapshot, budgets=["essentials"])
+        with pytest.raises(ValueError):
+            bench_hf.check_phase_limits(snapshot, shares=["essentials=abc"])
+
+    def test_from_snapshot_cli_exit_codes(
+        self, bench_hf, tmp_path, snapshot, capsys
+    ):
+        path = _write(tmp_path, "snap.json", snapshot)
+        ok = bench_hf.main(
+            ["--from-snapshot", path, "--max-phase-share", "essentials=0.65"]
+        )
+        assert ok == 0 and "phase limits ok" in capsys.readouterr().out
+        bad = bench_hf.main(
+            ["--from-snapshot", path, "--max-phase-share", "essentials=0.5"]
+        )
+        assert bad == 1 and "FAIL" in capsys.readouterr().out
