@@ -1,0 +1,185 @@
+#!/usr/bin/env python
+"""CI service smoke: a real daemon process under concurrent load.
+
+The end-to-end check the unit suites cannot give: a separate
+``espresso-hf serve`` *process* (not an in-thread server), hit with 50
+concurrent requests — including one malformed and one oversized — then
+drained with a real ``SIGTERM``.  Asserts:
+
+* every request is answered with the right status (zero hangs, bounded
+  by a hard wall-clock);
+* cache hits actually happen under a repeating workload;
+* ``SIGTERM`` produces a clean drain and exit code 0;
+* ``--metrics-out`` / ``--trace-out`` artifacts are written and
+  well-formed (CI uploads them).
+
+Exit code 0 on success, 1 with a diagnostic on any failure.
+
+Usage::
+
+    python scripts/serve_smoke.py [--requests 50] [--artifacts DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+SCRIPTS_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(SCRIPTS_DIR)
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.bm.benchmarks import build_benchmark  # noqa: E402
+from repro.pla import format_pla  # noqa: E402
+from repro.serve import ServeClient  # noqa: E402
+
+CIRCUITS = ("dram-ctrl", "pscsi-ircv", "sscsi-trcv-bm", "stetson-p3")
+
+
+def fail(message: str) -> int:
+    print(f"serve-smoke: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=50)
+    parser.add_argument("--artifacts", default="artifacts")
+    parser.add_argument("--deadline", type=float, default=300.0,
+                        help="hard wall-clock bound for the whole smoke")
+    args = parser.parse_args(argv)
+
+    os.makedirs(args.artifacts, exist_ok=True)
+    metrics_path = os.path.join(args.artifacts, "serve-metrics.json")
+    trace_path = os.path.join(args.artifacts, "serve-trace.jsonl")
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--port", "0",
+            "--workers", "2",
+            "--max-inputs", "16",
+            "--bundle-dir", args.artifacts,
+            "--metrics-out", metrics_path,
+            "--trace-out", trace_path,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=env,
+        cwd=REPO_ROOT,
+        text=True,
+    )
+    try:
+        # Port discovery: the daemon announces itself on stdout.
+        line = proc.stdout.readline()
+        if "listening on" not in line:
+            return fail(f"unexpected startup line: {line!r}")
+        host, port = line.split("listening on ")[1].split()[0].split(":")
+        port = int(port)
+        print(f"serve-smoke: daemon pid={proc.pid} on {host}:{port}")
+
+        plas = {name: format_pla(build_benchmark(name)) for name in CIRCUITS}
+        oversized = format_pla(build_benchmark("cache-ctrl"))  # 20 inputs
+        replies = {}
+        errors = []
+        lock = threading.Lock()
+
+        def submit(i):
+            try:
+                with ServeClient(host, port, timeout_s=args.deadline) as c:
+                    if i == 1:
+                        reply = c.minimize(".i 2\n.o\n", req_id=f"r{i}")
+                    elif i == 2:
+                        reply = c.minimize(oversized, req_id=f"r{i}")
+                    else:
+                        name = CIRCUITS[i % len(CIRCUITS)]
+                        reply = c.minimize(plas[name], req_id=f"r{i}")
+                with lock:
+                    replies[i] = reply
+            except Exception as exc:  # noqa: BLE001
+                with lock:
+                    errors.append((i, repr(exc)))
+
+        threads = [
+            threading.Thread(target=submit, args=(i,))
+            for i in range(args.requests)
+        ]
+        t0 = time.monotonic()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=args.deadline)
+        if any(t.is_alive() for t in threads):
+            return fail("client threads hung — daemon not answering")
+        wall = time.monotonic() - t0
+        if errors:
+            return fail(f"transport errors: {errors[:5]}")
+        if len(replies) != args.requests:
+            return fail(f"{args.requests - len(replies)} requests unanswered")
+
+        cached = 0
+        for i, reply in sorted(replies.items()):
+            if i == 1:
+                if reply["status"] != "malformed":
+                    return fail(f"malformed request got {reply['status']}")
+            elif i == 2:
+                if reply["status"] != "shed" or reply.get("reason") != "oversized":
+                    return fail(f"oversized request got {reply}")
+            else:
+                if reply["status"] != "ok":
+                    return fail(f"request {i} got {reply['status']}: "
+                                f"{reply.get('error')}")
+                cached += bool(reply.get("cached"))
+        if cached == 0:
+            return fail("no cache hits across a repeating workload")
+        print(
+            f"serve-smoke: {args.requests} requests in {wall:.1f}s "
+            f"({cached} cache hits), malformed+oversized rejected explicitly"
+        )
+
+        # Real SIGTERM: the daemon must drain and exit 0 on its own.
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            return fail("daemon did not exit within 60s of SIGTERM")
+        if proc.returncode != 0:
+            return fail(f"daemon exited {proc.returncode} after SIGTERM "
+                        f"(stderr: {proc.stderr.read()[-500:]})")
+        print("serve-smoke: SIGTERM drain clean, exit 0")
+
+        # Artifacts: both exports exist and parse.
+        with open(metrics_path) as fh:
+            snapshot = json.load(fh)
+        for metric in ("serve.admitted", "serve.cache_hits", "serve.shed_oversized"):
+            if metric not in snapshot:
+                return fail(f"metrics snapshot missing {metric}")
+        if snapshot["serve.cache_hits"]["value"] < 1:
+            return fail("metrics disagree: no cache hits recorded")
+        with open(trace_path) as fh:
+            spans = [json.loads(line) for line in fh if line.strip()]
+        if len(spans) < args.requests:
+            return fail(f"trace has {len(spans)} spans for "
+                        f"{args.requests} requests")
+        print(
+            f"serve-smoke: artifacts ok ({len(spans)} spans, "
+            f"{len(snapshot)} metrics) -> {args.artifacts}/"
+        )
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

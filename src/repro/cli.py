@@ -16,6 +16,8 @@ Examples::
     espresso-hf input.pla --jobs 4            # per-output mode, 4 workers
     espresso-hf input.pla --pipeline essentials,loop   # skip MAKE_DHF_PRIME
     espresso-hf input.pla --trace-out t.json  # Chrome trace of the run
+    espresso-hf serve --port 7777             # minimization-as-a-service
+                                              # daemon (see docs/SERVICE.md)
 
 Exit codes (see ``docs/FAILURES.md``):
 
@@ -26,6 +28,7 @@ Exit codes (see ``docs/FAILURES.md``):
 3     verification failed (Theorem 2.11 / checked-mode invariant / glitch)
 4     malformed input (bad PLA text or ill-formed instance)
 5     timeout or resource budget exhausted
+6     worker process crashed (died without reporting a result)
 ====  =========================================================
 """
 
@@ -52,6 +55,7 @@ EXIT_NO_SOLUTION = 2
 EXIT_VERIFY_FAILED = 3
 EXIT_MALFORMED = 4
 EXIT_TIMEOUT = 5
+EXIT_WORKER_CRASHED = 6
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -218,6 +222,9 @@ def _run_isolated(args, instance, pla_text: str):
     if status in ("malformed",):
         print(f"error: {row['error']}", file=sys.stderr)
         raise SystemExit(EXIT_MALFORMED)
+    if status == "worker_crashed":
+        print(f"error: {row['error']}", file=sys.stderr)
+        raise SystemExit(EXIT_WORKER_CRASHED)
     if status == "crash":
         print(f"error: worker failed:\n{row['error']}", file=sys.stderr)
         raise SystemExit(EXIT_USAGE)
@@ -238,6 +245,13 @@ def _run_isolated(args, instance, pla_text: str):
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "serve":
+        # Minimization-as-a-service daemon (docs/SERVICE.md).  Dispatched
+        # before argparse so the positional-PLA interface stays untouched.
+        from repro.serve.daemon import serve_main
+
+        return serve_main(argv[1:])
     parser = build_parser()
     try:
         args = parser.parse_args(argv)

@@ -28,6 +28,7 @@ from repro.guard.errors import (
     InvariantViolation,
     MalformedInstance,
     NoSolutionError,
+    WorkerCrashed,
 )
 
 __all__ = [
@@ -37,6 +38,7 @@ __all__ = [
     "BudgetExceeded",
     "InvariantViolation",
     "MalformedInstance",
+    "WorkerCrashed",
     # lazy (PEP 562):
     "ReproBundle",
     "write_bundle",
@@ -47,6 +49,7 @@ __all__ = [
     "guarded_espresso_hf",
     "run_one",
     "run_batch",
+    "run_pool",
     "benchmark_payload",
     "pla_payload",
 ]
@@ -61,6 +64,7 @@ _LAZY = {
     "guarded_espresso_hf": "repro.guard.runner",
     "run_one": "repro.guard.runner",
     "run_batch": "repro.guard.runner",
+    "run_pool": "repro.guard.runner",
     "benchmark_payload": "repro.guard.runner",
     "pla_payload": "repro.guard.runner",
 }

@@ -19,6 +19,10 @@ class                        meaning
                              implementation bug, never user error
 :class:`MalformedInstance`   the input itself is ill-formed (bad PLA text,
                              inconsistent ON/OFF sets, function hazards)
+:class:`WorkerCrashed`       an isolated worker process died without
+                             reporting a result (signal, OOM kill, hard
+                             interpreter crash) — the *worker* failed, not
+                             the input, so supervisors may retry
 ===========================  ==================================================
 
 The classes double-inherit from the built-in exceptions the pre-guard code
@@ -90,3 +94,35 @@ class MalformedInstance(HFError, ValueError):
     """The input instance or file is ill-formed (user error, exit code 4)."""
 
     exit_code = 4
+
+
+class WorkerCrashed(HFError, RuntimeError):
+    """An isolated worker process died without reporting a result.
+
+    Carries the child's raw ``exitcode`` (negative = killed by that signal
+    number, per :attr:`multiprocessing.Process.exitcode`) and the decoded
+    ``signal`` name when one applies.  Unlike :class:`MalformedInstance`
+    or :class:`NoSolutionError` this says nothing about the *input*: the
+    worker died, so a supervisor is entitled to retry the job on a fresh
+    worker — which is exactly what :mod:`repro.serve` does, with bounded
+    backoff and a poison-job quarantine for inputs that kill repeatedly.
+    """
+
+    exit_code = 6
+
+    def __init__(self, message: str, exitcode: Optional[int] = None):
+        super().__init__(message)
+        self.exitcode = exitcode
+        self.signal = signal_name(exitcode)
+
+
+def signal_name(exitcode: Optional[int]) -> Optional[str]:
+    """Decode a negative :attr:`Process.exitcode` into a signal name."""
+    if exitcode is None or exitcode >= 0:
+        return None
+    try:
+        import signal as _signal
+
+        return _signal.Signals(-exitcode).name
+    except (ValueError, ImportError):  # pragma: no cover - exotic signal
+        return f"signal {-exitcode}"

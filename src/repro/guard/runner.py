@@ -45,10 +45,15 @@ from repro.guard.errors import (
     InvariantViolation,
     MalformedInstance,
     NoSolutionError,
+    signal_name,
 )
 from repro.guard.shrink import shrink_instance
 
-#: statuses a batch row can carry (superset of HFResult.status)
+#: statuses a batch row can carry (superset of HFResult.status).
+#: ``crash`` is an in-process exception the worker caught and reported;
+#: ``worker_crashed`` is the worker process itself dying without reporting
+#: (signal / OOM kill / hard interpreter crash) — the distinction matters
+#: because only the latter is retry-safe (see :class:`WorkerCrashed`).
 ROW_STATUSES = (
     "ok",
     "degraded",
@@ -57,6 +62,7 @@ ROW_STATUSES = (
     "invariant_violation",
     "malformed",
     "crash",
+    "worker_crashed",
     "timeout",
 )
 
@@ -182,6 +188,95 @@ def guarded_espresso_hf(
 
 
 # ----------------------------------------------------------------------
+# Test-only fault injection (the ``inject`` payload seam)
+# ----------------------------------------------------------------------
+#
+# A payload may carry an ``inject`` dict that makes the worker misbehave on
+# purpose — the fault-injection suites for the batch runner and the serve
+# daemon are built on it (docs/SERVICE.md "Fault injection").  Supported
+# keys:
+#
+# ``kill``              kill this worker with SIGKILL, unconditionally
+# ``kill_attempts``     list of attempt numbers (``payload["attempt"]``,
+#                       maintained by the retrying supervisor) to kill on —
+#                       attempt 0 killed / attempt 1 clean models a
+#                       transient crash that a retry survives
+# ``kill_prob`` +       probabilistic kill, derandomized per
+# ``seed``              (seed, name, attempt) so replays are deterministic
+# ``sleep_s``           sleep before minimizing (forces the parent timeout)
+# ``defect``            install one :data:`repro.proptest.faults.DEFECTS`
+#                       corruption through the ``pass_decorator`` seam
+# ``raise``             raise from the first pipeline pass via the same
+#                       seam: ``"malformed"`` -> MalformedInstance,
+#                       anything else -> RuntimeError
+#
+# Kills are honoured only inside a worker process (never in MainProcess),
+# so an accidental ``inject`` on an in-process call cannot take down the
+# caller.  The serve daemon forwards ``inject`` only when started with
+# ``--allow-test-faults``.
+
+
+def _apply_preflight_faults(inject: Dict[str, Any], payload: Dict[str, Any]) -> None:
+    """Kill / delay faults, applied before any real work starts."""
+    attempt = int(payload.get("attempt", 0))
+    kill = bool(inject.get("kill")) or attempt in set(
+        inject.get("kill_attempts") or ()
+    )
+    prob = float(inject.get("kill_prob") or 0.0)
+    if not kill and prob > 0.0:
+        import random
+
+        token = f"{inject.get('seed', 0)}:{payload.get('name', '')}:{attempt}"
+        kill = random.Random(token).random() < prob
+    if kill and multiprocessing.current_process().name != "MainProcess":
+        import os
+        import signal
+
+        os.kill(os.getpid(), signal.SIGKILL)
+    if inject.get("sleep_s"):
+        time.sleep(float(inject["sleep_s"]))
+
+
+class _RaisingPass:
+    """Pipeline pass replacement that raises instead of running."""
+
+    def __init__(self, inner, exc_factory):
+        self.inner = inner
+        self.name = inner.name
+        self._exc_factory = exc_factory
+
+    def run(self, state):
+        raise self._exc_factory()
+
+
+def _apply_option_faults(inject: Dict[str, Any], options) -> None:
+    """Pipeline-level faults, installed through the pass_decorator seam."""
+    defect = inject.get("defect")
+    raise_kind = inject.get("raise")
+    if defect:
+        from repro.proptest.faults import DEFECTS, fault_decorator
+
+        options.pass_decorator = fault_decorator(DEFECTS[defect])
+    elif raise_kind:
+        if raise_kind == "malformed":
+            def factory():
+                return MalformedInstance("injected malformed-instance fault")
+        else:
+            def factory():
+                return RuntimeError(f"injected fault: {raise_kind}")
+
+        raised = []
+
+        def decorate(pass_):
+            if raised:
+                return pass_
+            raised.append(pass_.name)
+            return _RaisingPass(pass_, factory)
+
+        options.pass_decorator = decorate
+
+
+# ----------------------------------------------------------------------
 # Work-item payloads
 # ----------------------------------------------------------------------
 
@@ -288,6 +383,9 @@ def minimize_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     name = payload.get("name", "instance")
     row: Dict[str, Any] = {"name": name, "status": "crash", "bundle_path": None}
     bundle_dir = payload.get("bundle_dir")
+    inject = payload.get("inject") or {}
+    if inject:
+        _apply_preflight_faults(inject, payload)
     try:
         instance = _build_instance(payload)
     except (PlaError, MalformedInstance, ValueError, KeyError) as exc:
@@ -301,6 +399,8 @@ def minimize_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     row["n_outputs"] = instance.n_outputs
     options = options_from_dict(payload.get("options", {}))
     options.checked = bool(payload.get("checked", False))
+    if inject:
+        _apply_option_faults(inject, options)
     collect_spans = bool(payload.get("collect_spans"))
     best_time: Optional[float] = None
     best = None
@@ -336,6 +436,12 @@ def minimize_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     except NoSolutionError as exc:
         row["status"] = "no_solution"
         row["error"] = str(exc)
+        return row
+    except MalformedInstance as exc:
+        # An instance defect only detectable mid-run (or an injected
+        # malformed fault) classifies as user error, not a crash.
+        row["status"] = "malformed"
+        row["error"] = f"{type(exc).__name__}: {exc}"
         return row
     except InvariantViolation as exc:
         row["status"] = "invariant_violation"
@@ -467,14 +573,9 @@ def run_one(
                 try:
                     row = out_queue.get(timeout=0.5)
                 except queue_mod.Empty:
-                    row = {
-                        "name": name,
-                        "status": "crash",
-                        "time_s": round(time.perf_counter() - t0, 6),
-                        "error": "worker died without reporting "
-                        f"(exit code {proc.exitcode})",
-                        "bundle_path": None,
-                    }
+                    row = _worker_crashed_row(
+                        name, proc.exitcode, time.perf_counter() - t0
+                    )
                 break
     proc.join(timeout=1.0)
     if proc.is_alive():  # pragma: no cover - defensive cleanup
@@ -482,6 +583,38 @@ def run_one(
         proc.join()
     row.setdefault("time_s", round(time.perf_counter() - t0, 6))
     return row
+
+
+def _worker_crashed_row(
+    name: str, exitcode: Optional[int], elapsed_s: float
+) -> Dict[str, Any]:
+    """Structured row for a worker that died without reporting a result.
+
+    Mirrors :class:`repro.guard.errors.WorkerCrashed`: the raw exit code,
+    the decoded signal name (negative exit codes are deaths-by-signal),
+    and a status supervisors can key their retry logic off.
+    """
+    sig = signal_name(exitcode)
+    detail = f"signal {sig}" if sig else f"exit code {exitcode}"
+    return {
+        "name": name,
+        "status": "worker_crashed",
+        "time_s": round(elapsed_s, 6),
+        "error": f"worker died without reporting ({detail})",
+        "exitcode": exitcode,
+        "signal": sig,
+        "bundle_path": None,
+    }
+
+
+def worker_crashed_error(row: Dict[str, Any]) -> "WorkerCrashed":
+    """Lift a ``worker_crashed`` row into the exception taxonomy."""
+    from repro.guard.errors import WorkerCrashed
+
+    return WorkerCrashed(
+        row.get("error") or "worker died without reporting",
+        exitcode=row.get("exitcode"),
+    )
 
 
 def _timeout_bundle(
@@ -521,15 +654,27 @@ def run_pool(
     payloads: List[Dict[str, Any]],
     jobs: int,
     bundle_dir: Optional[str] = None,
+    timeout_s: Optional[float] = None,
 ) -> List[Dict[str, Any]]:
-    """Run work items on a pool of ``jobs`` worker processes.
+    """Run work items on up to ``jobs`` concurrent worker processes.
 
     The parallel counterpart of :func:`run_batch`, used by
     :func:`repro.hf.espresso_hf_per_output` for independent per-output
-    sub-runs.  Rows come back in payload order, so the caller's merge is
-    deterministic regardless of scheduling.  With ``jobs <= 1`` (or a
-    single item) the items run in this process — identical semantics,
-    no pool overhead.
+    sub-runs and by the serve daemon's load tooling.  Rows come back in
+    payload order, so the caller's merge is deterministic regardless of
+    scheduling.  With ``jobs <= 1`` (or a single item) the items run in
+    this process — identical semantics, no pool overhead.
+
+    Each item gets its *own* single-shot process (a sliding window of up
+    to ``jobs`` of them), not a slot in a long-lived ``multiprocessing``
+    pool.  That costs one cheap fork per item and buys exact crash
+    attribution: a worker killed by a signal yields a structured
+    ``worker_crashed`` row for *its* item — exit code and signal included —
+    while every other item completes normally.  A shared pool cannot
+    promise that (a dead pool worker can hang ``Pool.map`` forever), and a
+    hang is the one failure mode a supervisor cannot retry its way out of.
+    A per-item ``timeout_s`` payload key (or the argument, as a default)
+    terminates overrunning workers just like :func:`run_one`.
     """
     if bundle_dir:
         payloads = [dict(p, bundle_dir=bundle_dir) for p in payloads]
@@ -537,5 +682,64 @@ def run_pool(
     if jobs <= 1:
         return [minimize_payload(p) for p in payloads]
     ctx = multiprocessing.get_context()
-    with ctx.Pool(processes=jobs) as pool:
-        return pool.map(minimize_payload, payloads)
+    rows: List[Optional[Dict[str, Any]]] = [None] * len(payloads)
+    active: Dict[int, Any] = {}  # idx -> (proc, queue, t0, deadline)
+    next_idx = 0
+    while active or next_idx < len(payloads):
+        while next_idx < len(payloads) and len(active) < jobs:
+            payload = payloads[next_idx]
+            out_queue = ctx.Queue()
+            proc = ctx.Process(
+                target=_child_main, args=(payload, out_queue), daemon=True
+            )
+            t0 = time.perf_counter()
+            proc.start()
+            timeout = payload.get("timeout_s") or timeout_s
+            deadline = None if timeout is None else t0 + timeout
+            active[next_idx] = (proc, out_queue, t0, deadline)
+            next_idx += 1
+        progressed = False
+        for idx in list(active):
+            proc, out_queue, t0, deadline = active[idx]
+            row: Optional[Dict[str, Any]] = None
+            try:
+                row = out_queue.get_nowait()
+            except queue_mod.Empty:
+                now = time.perf_counter()
+                if deadline is not None and now >= deadline:
+                    proc.terminate()
+                    proc.join()
+                    timeout = deadline - t0
+                    row = {
+                        "name": payloads[idx].get("name", "instance"),
+                        "status": "timeout",
+                        "time_s": round(now - t0, 6),
+                        "error": "exceeded per-circuit timeout of "
+                        f"{timeout:g}s",
+                        "bundle_path": _timeout_bundle(
+                            payloads[idx],
+                            payloads[idx].get("bundle_dir"),
+                            timeout,
+                        ),
+                    }
+                elif not proc.is_alive():
+                    try:
+                        row = out_queue.get(timeout=0.5)
+                    except queue_mod.Empty:
+                        row = _worker_crashed_row(
+                            payloads[idx].get("name", "instance"),
+                            proc.exitcode,
+                            now - t0,
+                        )
+            if row is not None:
+                row.setdefault("time_s", round(time.perf_counter() - t0, 6))
+                rows[idx] = row
+                proc.join(timeout=1.0)
+                if proc.is_alive():  # pragma: no cover - defensive cleanup
+                    proc.terminate()
+                    proc.join()
+                del active[idx]
+                progressed = True
+        if not progressed and active:
+            time.sleep(0.01)
+    return rows

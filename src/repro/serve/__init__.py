@@ -1,0 +1,61 @@
+"""Minimization-as-a-service: a fault-tolerant daemon over the guard layer.
+
+``repro.serve`` turns the offline minimizer into a long-running service
+(``espresso-hf serve``) without weakening any of the correctness story:
+
+* :mod:`repro.serve.canon` — content-addressed instance keys modulo the
+  PR-4 metamorphic equivalences (input permutation × polarity flip), so
+  equivalent requests share one cache entry and cached covers map back
+  into each requester's labeling;
+* :mod:`repro.serve.cache` — bounded LRU over canonical-space outcomes;
+* :mod:`repro.serve.protocol` — the NDJSON wire format;
+* :mod:`repro.serve.supervisor` — admission control, in-flight dedup,
+  per-job deadlines, retry-on-worker-death with backoff, poison-job
+  quarantine, graceful drain;
+* :mod:`repro.serve.daemon` — the asyncio listener and CLI entry;
+* :mod:`repro.serve.client` — a blocking client for tests and tools.
+
+See ``docs/SERVICE.md`` for the protocol and failure semantics.
+"""
+
+from repro.serve.cache import ResultCache, options_fingerprint
+from repro.serve.canon import (
+    CanonicalForm,
+    canonical_instance_key,
+    canonicalize,
+)
+from repro.serve.client import ServeClient
+from repro.serve.daemon import (
+    MinimizationServer,
+    ServerHandle,
+    serve_main,
+    start_in_thread,
+)
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    Request,
+    parse_request,
+    response,
+)
+from repro.serve.supervisor import ServeConfig, Supervisor
+
+__all__ = [
+    "CanonicalForm",
+    "canonicalize",
+    "canonical_instance_key",
+    "ResultCache",
+    "options_fingerprint",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "Request",
+    "parse_request",
+    "response",
+    "ServeConfig",
+    "Supervisor",
+    "MinimizationServer",
+    "ServerHandle",
+    "serve_main",
+    "start_in_thread",
+    "ServeClient",
+]

@@ -1,0 +1,86 @@
+"""Canonical-key result cache: bounded LRU over minimization outcomes.
+
+Entries are keyed by ``(canonical instance key, options fingerprint)`` —
+see :mod:`repro.serve.canon` for the instance side; the options
+fingerprint hashes the :func:`~repro.guard.bundle.options_to_dict`
+snapshot so a ``--checked`` run and a stage-subset run never share an
+entry with the default pipeline.
+
+What gets cached is deliberately narrow: ``ok`` covers (stored in
+*canonical* variable labeling, so one entry serves every
+permutation/polarity rewrite of the instance) and ``no_solution``
+verdicts (Theorem 4.1 is a property of the function, equally invariant).
+Degraded, timed-out, crashed, or fault-injected outcomes are never
+cached — they describe one run, not the instance.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+#: outcome statuses that are safe to cache (instance properties, not
+#: run accidents)
+CACHEABLE_STATUSES = ("ok", "no_solution")
+
+CacheKey = Tuple[str, str]
+
+
+def options_fingerprint(options_dict: Dict[str, Any]) -> str:
+    """Stable digest of an options snapshot (budget configuration included)."""
+    return hashlib.sha256(
+        json.dumps(options_dict or {}, sort_keys=True).encode()
+    ).hexdigest()[:16]
+
+
+class ResultCache:
+    """Bounded LRU mapping cache keys to canonical-space outcomes.
+
+    An entry is a plain dict: ``{"status", "cover_pla", "num_cubes",
+    "num_literals", "error"}`` with ``cover_pla`` in canonical labeling
+    (``None`` for ``no_solution``).  Eviction is least-recently-*used*:
+    every hit refreshes the entry.
+    """
+
+    def __init__(self, max_entries: int = 1024):
+        if max_entries < 1:
+            raise ValueError("cache needs at least one entry")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[CacheKey, Dict[str, Any]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: CacheKey) -> Optional[Dict[str, Any]]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: CacheKey, entry: Dict[str, Any]) -> None:
+        if entry.get("status") not in CACHEABLE_STATUSES:
+            raise ValueError(
+                f"refusing to cache status {entry.get('status')!r}"
+            )
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

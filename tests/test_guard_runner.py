@@ -111,3 +111,90 @@ class TestRunBatch:
             assert row["status"] == "ok", (name, row.get("error"))
             assert row["verified"] is True
             assert row["status"] in ROW_STATUSES
+
+
+class TestWorkerCrash:
+    """Worker death is a first-class, structured, retry-safe status."""
+
+    def test_inject_kill_is_ignored_in_process(self):
+        # The fault seam must never kill the calling process: a direct
+        # minimize_payload call (MainProcess) runs the job normally.
+        payload = benchmark_payload("dram-ctrl")
+        payload["inject"] = {"kill": True}
+        row = minimize_payload(payload)
+        assert row["status"] == "ok"
+
+    def test_run_one_reports_worker_crashed(self):
+        payload = benchmark_payload("dram-ctrl")
+        payload["inject"] = {"kill": True}
+        row = run_one(payload, timeout_s=60)
+        assert row["status"] == "worker_crashed"
+        assert row["exitcode"] == -9
+        assert row["signal"] == "SIGKILL"
+        assert "died without reporting" in row["error"]
+
+    def test_kill_attempts_models_a_transient_crash(self):
+        payload = benchmark_payload("dram-ctrl")
+        payload["inject"] = {"kill_attempts": [0]}
+        payload["attempt"] = 0
+        assert run_one(payload, timeout_s=60)["status"] == "worker_crashed"
+        payload["attempt"] = 1
+        assert run_one(payload, timeout_s=60)["status"] == "ok"
+
+    def test_injected_malformed_fault_classifies_as_malformed(self):
+        payload = benchmark_payload("dram-ctrl")
+        payload["inject"] = {"raise": "malformed"}
+        row = run_one(payload, timeout_s=60)
+        assert row["status"] == "malformed"
+        assert "injected" in row["error"]
+
+    def test_worker_crashed_error_carries_signal(self):
+        from repro.guard.errors import WorkerCrashed
+        from repro.guard.runner import worker_crashed_error
+
+        payload = benchmark_payload("dram-ctrl")
+        payload["inject"] = {"kill": True}
+        row = run_one(payload, timeout_s=60)
+        exc = worker_crashed_error(row)
+        assert isinstance(exc, WorkerCrashed)
+        assert exc.exit_code == 6
+        assert exc.exitcode == -9
+        assert exc.signal == "SIGKILL"
+
+
+class TestRunPoolCrashSafety:
+    """A SIGKILLed pool worker must not hang or poison the batch."""
+
+    def test_pool_survives_a_killed_worker(self):
+        from repro.guard.runner import run_pool
+
+        killer = benchmark_payload("pe-send-ifc")
+        killer["inject"] = {"kill": True}
+        payloads = [
+            benchmark_payload("dram-ctrl"),
+            killer,
+            benchmark_payload("pscsi-ircv"),
+        ]
+        rows = run_pool(payloads, jobs=2, timeout_s=120)
+        assert [r["name"] for r in rows] == [
+            "dram-ctrl", "pe-send-ifc", "pscsi-ircv",
+        ]
+        assert rows[0]["status"] == "ok"
+        assert rows[1]["status"] == "worker_crashed"
+        assert rows[1]["signal"] == "SIGKILL"
+        assert rows[2]["status"] == "ok"
+
+    def test_pool_timeout_still_bundles(self, tmp_path):
+        from repro.guard.runner import run_pool
+
+        slow = benchmark_payload("dram-ctrl", repeats=10_000_000)
+        slow["timeout_s"] = 0.3
+        rows = run_pool(
+            [slow, benchmark_payload("pscsi-ircv")],
+            jobs=2,
+            bundle_dir=str(tmp_path),
+            timeout_s=120,
+        )
+        assert rows[0]["status"] == "timeout"
+        assert rows[0]["bundle_path"]
+        assert rows[1]["status"] == "ok"

@@ -45,4 +45,5 @@ class TestTopLevelApi:
         import repro.pipeline
         import repro.pla
         import repro.report
+        import repro.serve
         import repro.simulate

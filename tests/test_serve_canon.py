@@ -1,0 +1,163 @@
+"""Canonical instance keys: the properties the serve cache relies on.
+
+The cache serves a cover computed for instance A to any request whose
+instance is A modulo input permutation and polarity flip.  That is sound
+iff (1) every such rewrite hashes to the same key, (2) genuinely
+different instances get different keys, and (3) the stored transform maps
+canonical-space covers back onto the requester's instance hazard-free.
+Each is pinned here, plus the overflow fallback's soundness.
+"""
+
+import random
+
+from hypothesis import given, strategies as st
+
+from repro.bm.benchmarks import BENCHMARKS, build_benchmark
+from repro.hazards.verify import verify_hazard_free_cover
+from repro.hf import espresso_hf
+from repro.proptest.metamorphic import flip_instance, permute_instance
+from repro.proptest.strategies import (
+    InstanceConfig,
+    instances,
+    solvable_instances,
+)
+from repro.serve.canon import (
+    CanonicalForm,
+    canonical_instance_key,
+    canonicalize,
+)
+
+SMALL = InstanceConfig(max_inputs=4, max_outputs=2, max_on_cubes=5, max_transitions=3)
+
+
+def _rewrite(inst, data):
+    """Draw one random element of the symmetry group and apply it."""
+    perm = tuple(data.draw(st.permutations(range(inst.n_inputs))))
+    mask = data.draw(st.integers(min_value=0, max_value=(1 << inst.n_inputs) - 1))
+    return permute_instance(flip_instance(inst, mask), perm)
+
+
+class TestKeyInvariance:
+    @given(instances(SMALL), st.data())
+    def test_every_metamorphic_rewrite_hashes_identically(self, inst, data):
+        rewritten = _rewrite(inst, data)
+        assert canonical_instance_key(inst) == canonical_instance_key(rewritten)
+
+    @given(instances(SMALL), st.data())
+    def test_canonical_representative_is_shared(self, inst, data):
+        # Stronger than key equality: both sides canonicalize to the very
+        # same instance text, so the cache entry's canonical-space cover
+        # means the same thing to both.
+        rewritten = _rewrite(inst, data)
+        assert canonicalize(inst).text == canonicalize(rewritten).text
+
+    @given(instances(SMALL))
+    def test_canonicalize_is_idempotent(self, inst):
+        form = canonicalize(inst)
+        again = canonicalize(form.canonical_instance(inst))
+        assert again.key == form.key
+
+
+class TestKeyDistinctness:
+    def test_benchmark_corpus_has_no_collisions(self):
+        keys = {
+            bench.name: canonical_instance_key(build_benchmark(bench.name))
+            for bench in BENCHMARKS
+        }
+        assert len(set(keys.values())) == len(keys), keys
+
+    @given(instances(InstanceConfig(max_inputs=4, max_outputs=2,
+                                    max_on_cubes=5, min_transitions=1,
+                                    max_transitions=3)))
+    def test_dropping_a_transition_changes_the_key(self, inst):
+        # A ground-truth non-equivalent mutation: the transition set is
+        # part of the problem, so removing one must change the key.
+        from repro.hazards.instance import HazardFreeInstance
+
+        smaller = HazardFreeInstance(
+            inst.on, inst.off, inst.transitions[1:], name=inst.name
+        )
+        assert canonical_instance_key(inst) != canonical_instance_key(smaller)
+
+    @given(instances(SMALL), instances(SMALL))
+    def test_independent_instances_rarely_share_keys(self, a, b):
+        # Two independently drawn instances either differ in key, or they
+        # are genuinely equivalent — in which case their canonical
+        # representatives must be the identical instance text.
+        ka, kb = canonicalize(a), canonicalize(b)
+        if ka.key == kb.key:
+            assert ka.text == kb.text
+
+
+class TestCoverMapping:
+    @given(solvable_instances(SMALL), st.data())
+    def test_cover_roundtrip_is_identity(self, inst, data):
+        form = canonicalize(inst)
+        cover = espresso_hf(inst).cover
+        back = form.cover_from_canonical(form.cover_to_canonical(cover))
+        assert back.key() == cover.key()
+
+    @given(solvable_instances(SMALL), st.data())
+    def test_cache_hit_path_serves_hazard_free_covers(self, inst, data):
+        # The exact cache-hit flow: instance A populates the cache in
+        # canonical labeling; an equivalent instance B gets that cover
+        # mapped through B's own transform.  It must verify on B.
+        form_a = canonicalize(inst)
+        canonical_cover = form_a.cover_to_canonical(espresso_hf(inst).cover)
+        equivalent = _rewrite(inst, data)
+        form_b = canonicalize(equivalent)
+        assert form_a.key == form_b.key
+        served = form_b.cover_from_canonical(canonical_cover)
+        assert not verify_hazard_free_cover(equivalent, served)
+
+
+class TestOverflowFallback:
+    def test_overflow_is_identity_and_marked(self):
+        inst = build_benchmark("dram-ctrl")
+        form = canonicalize(inst, max_candidates=0)
+        assert form.overflow
+        assert form.perm == tuple(range(inst.n_inputs))
+        assert form.flip_mask == 0
+        assert form.text.startswith("sym-overflow\n")
+
+    def test_overflow_keys_never_alias_canonical_keys(self):
+        # The same instance keyed both ways must produce different keys:
+        # an overflowed request must not hit a canonically-keyed entry
+        # (whose cover lives in a labeling the overflow path never
+        # computed).
+        inst = build_benchmark("dram-ctrl")
+        assert (
+            canonicalize(inst, max_candidates=0).key
+            != canonicalize(inst).key
+        )
+
+    def test_overflow_decision_is_group_invariant(self):
+        # Whether an instance overflows depends only on signature
+        # multiplicities, which every rewrite preserves — so two
+        # equivalent requests always take the same path.
+        inst = build_benchmark("pe-send-ifc")
+        rng = random.Random(3)
+        perm = list(range(inst.n_inputs))
+        rng.shuffle(perm)
+        rewritten = permute_instance(flip_instance(inst, 0b101), tuple(perm))
+        for cap in (0, 10, 20_000):
+            assert (
+                canonicalize(inst, max_candidates=cap).overflow
+                == canonicalize(rewritten, max_candidates=cap).overflow
+            )
+
+    def test_low_cap_still_keys_identical_instances_together(self):
+        inst = build_benchmark("dram-ctrl")
+        a = canonicalize(inst, max_candidates=0)
+        b = canonicalize(inst, max_candidates=0)
+        assert a.key == b.key
+
+
+class TestCanonicalFormShape:
+    @given(instances(SMALL))
+    def test_candidate_count_respects_cap(self, inst):
+        form = canonicalize(inst)
+        if not form.overflow:
+            assert form.candidates <= 20_000
+        assert isinstance(form, CanonicalForm)
+        assert len(form.key) == 64

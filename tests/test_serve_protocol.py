@@ -1,0 +1,120 @@
+"""Wire-protocol validation and the result cache (pure units, no sockets)."""
+
+import json
+
+import pytest
+
+from repro.serve.cache import ResultCache, options_fingerprint
+from repro.serve.protocol import (
+    COVER_STATUSES,
+    PROTOCOL_VERSION,
+    RESPONSE_STATUSES,
+    ProtocolError,
+    encode,
+    parse_request,
+    response,
+)
+
+
+class TestParseRequest:
+    def test_minimal_minimize(self):
+        req = parse_request(json.dumps({"op": "minimize", "pla": ".i 1\n"}))
+        assert req.op == "minimize"
+        assert req.pla == ".i 1\n"
+        assert req.options == {}
+        assert req.inject is None
+
+    def test_full_minimize(self):
+        req = parse_request(json.dumps({
+            "op": "minimize", "id": "r7", "pla": "x",
+            "options": {"use_last_gasp": False}, "timeout_s": 5,
+            "budget_s": 1.5, "checked": True, "no_cache": True,
+            "inject": {"kill": True},
+        }))
+        assert req.id == "r7"
+        assert req.timeout_s == 5
+        assert req.budget_s == 1.5
+        assert req.checked and req.no_cache
+        assert req.inject == {"kill": True}
+
+    def test_ops_without_pla(self):
+        for op in ("ping", "stats", "shutdown"):
+            assert parse_request(json.dumps({"op": op})).op == op
+
+    @pytest.mark.parametrize("line,fragment", [
+        ("not json", "invalid JSON"),
+        ("[1,2]", "JSON object"),
+        ('{"op": "explode"}', "unknown op"),
+        ('{"op": "minimize"}', "non-empty 'pla'"),
+        ('{"op": "minimize", "pla": "  "}', "non-empty 'pla'"),
+        ('{"op": "minimize", "pla": "x", "options": 3}', "options"),
+        ('{"op": "minimize", "pla": "x", "inject": []}', "inject"),
+        ('{"op": "minimize", "pla": "x", "timeout_s": -1}', "timeout_s"),
+        ('{"op": "minimize", "pla": "x", "budget_s": "soon"}', "budget_s"),
+        ('{"op": "minimize", "pla": "x", "id": {}}', "id"),
+    ])
+    def test_malformed_lines_raise_with_reason(self, line, fragment):
+        with pytest.raises(ProtocolError, match=fragment):
+            parse_request(line)
+
+
+class TestResponseEnvelope:
+    def test_cover_statuses_are_ok(self):
+        for status in COVER_STATUSES + ("no_solution",):
+            assert response("r", status)["ok"] is True
+
+    def test_failure_statuses_are_not_ok(self):
+        for status in RESPONSE_STATUSES:
+            if status in COVER_STATUSES or status == "no_solution":
+                continue
+            assert response("r", status)["ok"] is False
+
+    def test_envelope_fields(self):
+        msg = response("r1", "shed", reason="queue_full", retry_after_s=2.0)
+        assert msg["id"] == "r1"
+        assert msg["v"] == PROTOCOL_VERSION
+        assert msg["reason"] == "queue_full"
+
+    def test_encode_is_one_line(self):
+        data = encode(response("a", "ok", cover_pla="x\ny"))
+        assert data.endswith(b"\n")
+        assert data.count(b"\n") == 1
+        assert json.loads(data)["cover_pla"] == "x\ny"
+
+
+class TestResultCache:
+    def test_lru_eviction_order(self):
+        cache = ResultCache(max_entries=2)
+        cache.put(("a", "o"), {"status": "ok"})
+        cache.put(("b", "o"), {"status": "ok"})
+        assert cache.get(("a", "o"))  # refresh a
+        cache.put(("c", "o"), {"status": "ok"})  # evicts b, not a
+        assert cache.get(("b", "o")) is None
+        assert cache.get(("a", "o")) is not None
+        assert cache.evictions == 1
+
+    def test_refuses_uncacheable_statuses(self):
+        cache = ResultCache()
+        for status in ("timeout", "worker_crashed", "degraded", "error"):
+            with pytest.raises(ValueError):
+                cache.put(("k", "o"), {"status": status})
+
+    def test_no_solution_is_cacheable(self):
+        cache = ResultCache()
+        cache.put(("k", "o"), {"status": "no_solution"})
+        assert cache.get(("k", "o"))["status"] == "no_solution"
+
+    def test_options_fingerprint_discriminates(self):
+        a = options_fingerprint({"use_last_gasp": True})
+        b = options_fingerprint({"use_last_gasp": False})
+        assert a != b
+        assert options_fingerprint({}) == options_fingerprint({})
+
+    def test_stats_shape(self):
+        cache = ResultCache(max_entries=4)
+        cache.get(("missing", "o"))
+        stats = cache.stats()
+        assert stats == {
+            "entries": 0, "max_entries": 4,
+            "hits": 0, "misses": 1, "evictions": 0,
+        }

@@ -1,0 +1,210 @@
+"""Daemon integration: one shared server, real sockets, no faults.
+
+A module-scoped daemon (two workers, test-fault seam enabled) serves every
+test here; the fault-injection suite (``test_serve_faults.py``) runs its
+own daemons because quarantine is sticky state.
+"""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.bm.benchmarks import build_benchmark
+from repro.hazards.verify import verify_hazard_free_cover
+from repro.pla import format_pla, parse_pla
+from repro.proptest.metamorphic import flip_instance, permute_instance
+from repro.serve import ServeClient, ServeConfig, start_in_thread
+
+
+@pytest.fixture(scope="module")
+def daemon():
+    handle = start_in_thread(ServeConfig(
+        workers=2,
+        allow_test_faults=True,
+        backoff_base_s=0.02,
+        job_timeout_s=60.0,
+        max_inputs=16,
+        max_cubes=1024,
+    ))
+    yield handle
+    handle.stop()
+
+
+@pytest.fixture()
+def client(daemon):
+    c = ServeClient(daemon.host, daemon.port)
+    yield c
+    c.close()
+
+
+def bench_pla(name: str) -> str:
+    return format_pla(build_benchmark(name))
+
+
+class TestBasicOps:
+    def test_ping(self, client):
+        reply = client.ping()
+        assert reply["ok"] and reply["status"] == "ok"
+        assert reply["v"] == 1
+
+    def test_stats_shape(self, client):
+        stats = client.stats()["stats"]
+        assert set(stats) >= {
+            "queue_depth", "open_jobs", "inflight", "draining",
+            "cache", "quarantined", "metrics",
+        }
+        assert stats["draining"] is False
+
+    def test_minimize_round_trip(self, client):
+        inst = build_benchmark("dram-ctrl")
+        reply = client.minimize(format_pla(inst))
+        assert reply["status"] == "ok", reply
+        cover = parse_pla(reply["cover_pla"]).on
+        assert not verify_hazard_free_cover(inst, cover)
+        assert reply["num_cubes"] == len(cover)
+
+    def test_unsolvable_reports_no_solution(self, client):
+        from tests.test_hazards import unsolvable_instance
+
+        reply = client.minimize(format_pla(unsolvable_instance()))
+        assert reply["status"] == "no_solution"
+        assert reply["ok"] is True
+
+    def test_malformed_pla_is_answered(self, client):
+        reply = client.minimize(".i 2\n.o\n")
+        assert reply["status"] == "malformed"
+        assert "line" in reply["error"]
+
+    def test_protocol_error_keeps_connection_alive(self, client):
+        reply = client.send_raw(b'{"op": "minimize"}\n')
+        assert reply["status"] == "protocol_error"
+        assert client.ping()["ok"]  # connection still usable
+
+
+class TestCaching:
+    def test_identical_request_hits_cache(self, client):
+        pla = bench_pla("pscsi-isend")
+        first = client.minimize(pla)
+        second = client.minimize(pla)
+        assert first["status"] == second["status"] == "ok"
+        assert first["cached"] is False or first["cached"] is True  # warm-up
+        assert second["cached"] is True
+        assert second["cover_pla"] == first["cover_pla"]
+
+    def test_equivalent_instance_hits_cache_with_remapped_cover(self, client):
+        inst = build_benchmark("pscsi-tsend")
+        client.minimize(format_pla(inst))  # populate
+        perm = tuple(reversed(range(inst.n_inputs)))
+        equivalent = permute_instance(flip_instance(inst, 0b1101), perm)
+        reply = client.minimize(format_pla(equivalent))
+        assert reply["cached"] is True
+        cover = parse_pla(reply["cover_pla"]).on
+        assert not verify_hazard_free_cover(equivalent, cover)
+
+    def test_no_cache_bypasses(self, client):
+        pla = bench_pla("pscsi-isend")
+        client.minimize(pla)
+        reply = client.minimize(pla, no_cache=True)
+        assert reply["cached"] is False
+
+    def test_distinct_options_are_distinct_entries(self, client):
+        pla = bench_pla("pscsi-tsend")
+        client.minimize(pla)
+        reply = client.minimize(pla, options={"use_last_gasp": False})
+        assert reply["cached"] is False
+
+
+class TestAdmissionControl:
+    def test_oversized_instance_is_shed(self, client):
+        # cache-ctrl has 20 inputs; the test daemon caps at 16.
+        reply = client.minimize(bench_pla("cache-ctrl"))
+        assert reply["status"] == "shed"
+        assert reply["reason"] == "oversized"
+        assert reply["ok"] is False
+
+    def test_degraded_budget_result_is_explicit(self, client):
+        reply = client.minimize(
+            bench_pla("pscsi-tsend-bm"), budget_s=0.0001, no_cache=True
+        )
+        assert reply["status"] in ("degraded", "budget_exceeded", "ok")
+        if reply["status"] != "ok":
+            # Even degraded covers are verified hazard-free before serving.
+            inst = build_benchmark("pscsi-tsend-bm")
+            cover = parse_pla(reply["cover_pla"]).on
+            assert not verify_hazard_free_cover(inst, cover)
+
+
+class TestConcurrency:
+    def test_parallel_clients_all_answered(self, daemon):
+        names = ["dram-ctrl", "pe-send-ifc", "pscsi-ircv", "pscsi-isend"]
+        replies = {}
+        errors = []
+
+        def worker(name):
+            try:
+                with ServeClient(daemon.host, daemon.port) as c:
+                    replies[name] = c.minimize(bench_pla(name))
+            except Exception as exc:  # noqa: BLE001
+                errors.append((name, exc))
+
+        threads = [
+            threading.Thread(target=worker, args=(n,)) for n in names
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors
+        assert set(replies) == set(names)
+        for name, reply in replies.items():
+            assert reply["status"] == "ok", (name, reply)
+
+    def test_identical_inflight_requests_coalesce(self, daemon):
+        pla = bench_pla("pscsi-pscsi")
+        replies = []
+
+        def worker():
+            with ServeClient(daemon.host, daemon.port) as c:
+                replies.append(c.minimize(pla, inject=None))
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert len(replies) == 4
+        covers = {r["cover_pla"] for r in replies}
+        assert len(covers) == 1  # one result, served to everyone
+        assert all(r["status"] == "ok" for r in replies)
+
+
+class TestLifecycle:
+    def test_shutdown_drains_and_refuses(self):
+        handle = start_in_thread(ServeConfig(workers=1, backoff_base_s=0.02))
+        with ServeClient(handle.host, handle.port) as c:
+            first = c.minimize(bench_pla("dram-ctrl"))
+            assert first["status"] == "ok"
+            reply = c.shutdown()
+            assert reply["ok"] and reply["draining"] is True
+        handle._thread.join(timeout=60)
+        assert not handle._thread.is_alive()
+        # new connections are refused once the listener is closed
+        with pytest.raises(OSError):
+            socket.create_connection((handle.host, handle.port), timeout=2)
+
+    def test_oversized_line_gets_answer_then_close(self):
+        handle = start_in_thread(ServeConfig(
+            workers=1, max_line_bytes=1024
+        ))
+        try:
+            with ServeClient(handle.host, handle.port) as c:
+                big = json.dumps({
+                    "op": "minimize", "pla": "x" * 4096
+                })
+                reply = c.send_raw((big + "\n").encode())
+                assert reply["status"] == "protocol_error"
+                assert "exceeds" in reply["error"]
+        finally:
+            handle.stop()
