@@ -143,6 +143,19 @@ def build_parser() -> argparse.ArgumentParser:
         "included in --jobs and --timeout modes; see docs/OBSERVABILITY.md",
     )
     parser.add_argument(
+        "--session-in",
+        metavar="FILE",
+        help="warm-start from a saved minimization session (JSON written "
+        "by --session-out); an unusable session degrades to a cold run — "
+        "see docs/WARMSTART.md",
+    )
+    parser.add_argument(
+        "--session-out",
+        metavar="FILE",
+        help="capture this run's minimization session for later "
+        "--session-in warm starts (heuristic single-process mode only)",
+    )
+    parser.add_argument(
         "--stats", action="store_true", help="print per-phase statistics"
     )
     parser.add_argument(
@@ -306,6 +319,14 @@ def _run_command(args, tracer) -> int:
             print(f"   {q.cube.input_string()} (output {q.output})")
         return EXIT_NO_SOLUTION
 
+    if (args.session_in or args.session_out) and (
+        args.exact or args.timeout or args.jobs > 1
+    ):
+        print(
+            "warning: --session-in/--session-out only apply to the "
+            "heuristic single-process mode; ignored",
+            file=sys.stderr,
+        )
     result = None
     try:
         if args.exact:
@@ -342,11 +363,37 @@ def _run_command(args, tracer) -> int:
         else:
             from repro.guard.runner import guarded_espresso_hf
 
+            warm_start = None
+            if args.session_in:
+                from repro.session import MinimizationSession
+
+                try:
+                    warm_start = MinimizationSession.load(args.session_in)
+                except (OSError, ValueError) as exc:
+                    print(
+                        f"warning: ignoring --session-in ({exc}); "
+                        "running cold",
+                        file=sys.stderr,
+                    )
             result = guarded_espresso_hf(
                 instance,
                 _heuristic_options(args),
                 bundle_dir=args.bundle_dir if args.checked else None,
+                warm_start=warm_start,
+                capture_session=bool(args.session_out),
             )
+            if warm_start is not None and args.stats:
+                print(f"# warm start: {result.warm}", file=sys.stderr)
+            if args.session_out:
+                if result.session is not None:
+                    result.session.save(args.session_out)
+                else:
+                    print(
+                        "warning: no session captured "
+                        f"(status={result.status}); {args.session_out} "
+                        "not written",
+                        file=sys.stderr,
+                    )
             cover = result.cover
             if result.status != "ok":
                 print(

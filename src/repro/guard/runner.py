@@ -119,6 +119,9 @@ def guarded_espresso_hf(
     bundle_dir: Optional[str] = None,
     shrink: bool = True,
     max_shrink_evaluations: int = 200,
+    warm_start=None,
+    capture_session: bool = False,
+    warm_assume_identical: bool = False,
 ):
     """Run :func:`espresso_hf` under the full guard policy.
 
@@ -136,12 +139,22 @@ def guarded_espresso_hf(
 
     ``NoSolutionError`` and ``BudgetExceeded`` pass through untouched:
     they are properties of the input and the budget, not faults.
+
+    ``warm_start`` / ``capture_session`` forward to ``espresso_hf``
+    unchanged — warm-start planning is fallible-by-design (any unusable
+    session degrades to a cold run), so no extra guard policy applies.
     """
     from repro.hf.espresso_hf import EspressoHFOptions, espresso_hf
 
     options = options or EspressoHFOptions()
     try:
-        result = espresso_hf(instance, options)
+        result = espresso_hf(
+            instance,
+            options,
+            warm_start=warm_start,
+            capture_session=capture_session,
+            warm_assume_identical=warm_assume_identical,
+        )
     except (NoSolutionError, BudgetExceeded):
         raise
     except InvariantViolation as exc:
@@ -317,9 +330,21 @@ def pla_payload(
     verify: bool = True,
     timeout_s: Optional[float] = None,
     collect_spans: bool = False,
+    warm_session: Optional[Dict[str, Any]] = None,
+    capture_session: bool = False,
+    warm_text_match: bool = False,
 ) -> Dict[str, Any]:
-    """Work item for one extended-PLA instance (the CLI's ``--timeout``)."""
-    return {
+    """Work item for one extended-PLA instance (the CLI's ``--timeout``).
+
+    ``warm_session`` is a serialized :class:`repro.session.MinimizationSession`
+    dict (``to_dict`` form — plain JSON, so it survives the process
+    boundary); ``capture_session`` asks the worker to ship one back on the
+    row (``row["session"]``).  ``warm_text_match`` asserts that
+    ``pla_text`` is byte-identical to the text that produced the session
+    (the caller's proof of instance identity — the planner then skips
+    signature re-derivation).  See docs/WARMSTART.md.
+    """
+    payload = {
         "kind": "pla",
         "name": name,
         "pla_text": pla_text,
@@ -331,6 +356,13 @@ def pla_payload(
         "timeout_s": timeout_s,
         "collect_spans": collect_spans,
     }
+    if warm_session is not None:
+        payload["warm_session"] = warm_session
+        if warm_text_match:
+            payload["warm_text_match"] = True
+    if capture_session:
+        payload["capture_session"] = True
+    return payload
 
 
 def per_output_payload(
@@ -370,7 +402,14 @@ def _build_instance(payload: Dict[str, Any]):
         return build_benchmark(payload["name"])
     from repro.pla import parse_pla
 
-    return parse_pla(payload["pla_text"], name=payload.get("name", "pla")).to_instance()
+    # warm_text_match is the supervisor's proof that this exact byte
+    # sequence already passed validation in the run that produced the
+    # session (sessions are only stored from status=="ok" runs), so
+    # re-validating the deterministic parse result proves nothing new.
+    validate = not payload.get("warm_text_match")
+    return parse_pla(
+        payload["pla_text"], name=payload.get("name", "pla")
+    ).to_instance(validate=validate)
 
 
 def minimize_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -402,6 +441,19 @@ def minimize_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     if inject:
         _apply_option_faults(inject, options)
     collect_spans = bool(payload.get("collect_spans"))
+    capture_session = bool(payload.get("capture_session"))
+    warm_text_match = bool(payload.get("warm_text_match"))
+    warm_start = None
+    warm_error: Optional[str] = None
+    if payload.get("warm_session") is not None:
+        from repro.session import MinimizationSession
+
+        try:
+            warm_start = MinimizationSession.from_dict(payload["warm_session"])
+        except ValueError as exc:
+            # A malformed session must never fail the request — the run
+            # proceeds cold and the row records why.
+            warm_error = f"session rejected: {exc}"
     best_time: Optional[float] = None
     best = None
     best_spans: Optional[List[Dict[str, Any]]] = None
@@ -418,11 +470,21 @@ def minimize_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
                 tracer = Tracer()
                 with activate(tracer):
                     result = guarded_espresso_hf(
-                        instance, options, bundle_dir=bundle_dir
+                        instance,
+                        options,
+                        bundle_dir=bundle_dir,
+                        warm_start=warm_start,
+                        capture_session=capture_session,
+                        warm_assume_identical=warm_text_match,
                     )
             else:
                 result = guarded_espresso_hf(
-                    instance, options, bundle_dir=bundle_dir
+                    instance,
+                    options,
+                    bundle_dir=bundle_dir,
+                    warm_start=warm_start,
+                    capture_session=capture_session,
+                    warm_assume_identical=warm_text_match,
                 )
             elapsed = time.perf_counter() - t0
             times.append(elapsed)
@@ -469,6 +531,12 @@ def minimize_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
             "error": None,
         }
     )
+    if warm_start is not None or warm_error is not None:
+        row["warm"] = best.warm if warm_error is None else "cold"
+        if warm_error is not None:
+            row["warm_error"] = warm_error
+    if best.session is not None:
+        row["session"] = best.session.to_dict()
     if collect_spans:
         from repro.obs import MetricsRegistry, publish_result_metrics
 
@@ -482,7 +550,15 @@ def minimize_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     if payload.get("verify", True):
         from repro.hazards.verify import verify_hazard_free_cover
 
-        violations = verify_hazard_free_cover(instance, best.cover)
+        if best.warm == "identical":
+            # The identical-mode short circuit only fires after
+            # plan_warm_start ran the Theorem 2.11 verifier on this exact
+            # cover against this exact instance (warm_cubes_reverified in
+            # the counters); repeating the check here would double the
+            # cost of the fast path for no new information.
+            violations = []
+        else:
+            violations = verify_hazard_free_cover(instance, best.cover)
         row["verified"] = not violations
         if violations:
             row["status"] = "invariant_violation"

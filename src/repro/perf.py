@@ -75,6 +75,19 @@ class PerfCounters:
         tables are cleared when ``compute_essentials`` returns, so
         service-style runs don't accumulate per-instance state; merging
         takes the max, not the sum.
+    warm_memo_imported:
+        Supercube-memo entries adopted from a
+        :class:`~repro.session.MinimizationSession` on a warm start —
+        each is a fixpoint (or an infeasibility proof) the run never has
+        to recompute.  Only entries whose outputs have unchanged
+        privileged and OFF sets are eligible (docs/WARMSTART.md).
+    warm_escape_imported:
+        Pair-infeasibility proofs recovered from a prior session's escape
+        rows and seeded into the supercube memo on a warm start.
+    warm_cubes_reverified:
+        Cubes of a prior session's cover re-verified against the *new*
+        instance with the Theorem 2.11 checker during warm-start planning
+        (identical-mode short-circuit and budget-floor seeding).
     op_seconds:
         Wall-clock seconds per operator (``expand``, ``reduce``,
         ``irredundant``, ``last_gasp``, ``essentials``, ``make_prime``).
@@ -110,6 +123,9 @@ class PerfCounters:
     escape_probe_hits: int = 0
     essentials_rescans_avoided: int = 0
     essentials_memo_peak: int = 0
+    warm_memo_imported: int = 0
+    warm_escape_imported: int = 0
+    warm_cubes_reverified: int = 0
     op_seconds: Dict[str, float] = field(default_factory=dict)
     exclusive_seconds: Dict[str, float] = field(default_factory=dict)
     #: open-timer stack: [name, start, child_seconds] frames (not state
@@ -175,6 +191,9 @@ class PerfCounters:
         self.essentials_memo_peak = max(
             self.essentials_memo_peak, other.essentials_memo_peak
         )
+        self.warm_memo_imported += other.warm_memo_imported
+        self.warm_escape_imported += other.warm_escape_imported
+        self.warm_cubes_reverified += other.warm_cubes_reverified
         for name, seconds in other.op_seconds.items():
             self.op_seconds[name] = self.op_seconds.get(name, 0.0) + seconds
         for name, seconds in other.exclusive_seconds.items():
@@ -205,6 +224,9 @@ class PerfCounters:
             "escape_probe_hits": self.escape_probe_hits,
             "essentials_rescans_avoided": self.essentials_rescans_avoided,
             "essentials_memo_peak": self.essentials_memo_peak,
+            "warm_memo_imported": self.warm_memo_imported,
+            "warm_escape_imported": self.warm_escape_imported,
+            "warm_cubes_reverified": self.warm_cubes_reverified,
             "op_seconds": {k: round(v, 6) for k, v in self.op_seconds.items()},
             "exclusive_seconds": {
                 k: round(v, 6) for k, v in self.exclusive_seconds.items()
@@ -238,6 +260,9 @@ class PerfCounters:
             "escape_probe_hits",
             "essentials_rescans_avoided",
             "essentials_memo_peak",
+            "warm_memo_imported",
+            "warm_escape_imported",
+            "warm_cubes_reverified",
         ):
             if name in data:
                 setattr(counters, name, int(data[name]))
@@ -271,6 +296,12 @@ class PerfCounters:
                 f"{self.escape_probe_hits} probe memo hits, "
                 f"{self.essentials_rescans_avoided} rescans avoided "
                 f"(memo peak {self.essentials_memo_peak})"
+            )
+        if self.warm_memo_imported or self.warm_cubes_reverified:
+            lines.append(
+                f"warm start: {self.warm_memo_imported} memo entries "
+                f"imported, {self.warm_escape_imported} escape proofs "
+                f"seeded, {self.warm_cubes_reverified} cubes re-verified"
             )
         if self.invariant_checks:
             lines.append(

@@ -12,6 +12,13 @@ permutation/polarity rewrite of the instance) and ``no_solution``
 verdicts (Theorem 4.1 is a property of the function, equally invariant).
 Degraded, timed-out, crashed, or fault-injected outcomes are never
 cached — they describe one run, not the instance.
+
+:class:`MalformedCache` is the *negative* side: deterministic
+``malformed`` rejections happen at parse time, **before** canonicalization
+can produce a key, so they are keyed by a digest of the raw request text.
+Without it every resubmission of the same bad text re-paid a full parse in
+the prepare thread; with it repeated rejections coalesce onto one cached
+answer.
 """
 
 from __future__ import annotations
@@ -52,6 +59,10 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: optional zero-arg callback fired once per eviction — the
+        #: supervisor hangs its ``serve.cache_evictions`` metrics counter
+        #: here so operators see cache pressure without polling stats
+        self.on_evict = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -71,6 +82,63 @@ class ResultCache:
                 f"refusing to cache status {entry.get('status')!r}"
             )
         self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            if self.on_evict is not None:
+                self.on_evict()
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+class MalformedCache:
+    """Bounded LRU negative cache over deterministic parse rejections.
+
+    Maps a digest of the raw PLA request text (:meth:`key_for`) to the
+    rejection message the parser produced.  Only *pre-run* rejections
+    belong here — parsing is a pure function of the text, so the verdict
+    is deterministic; mid-run or fault-injected ``malformed`` outcomes
+    describe one run and are never negatively cached.  Entries are tiny
+    (digest + message), so the default capacity is generous relative to
+    the positive cache.
+    """
+
+    def __init__(self, max_entries: int = 1024):
+        if max_entries < 1:
+            raise ValueError("cache needs at least one entry")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, str]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def key_for(pla_text: str) -> str:
+        """Digest of the raw request text (pre-canonicalization keyspace)."""
+        return hashlib.sha256(pla_text.encode()).hexdigest()[:32]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> Optional[str]:
+        error = self._entries.get(key)
+        if error is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return error
+
+    def put(self, key: str, error: str) -> None:
+        self._entries[key] = str(error)
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)

@@ -16,7 +16,11 @@ Requests
     yields a *degraded* best-verified cover, not a failure), ``checked``
     (phase-boundary invariants on), ``no_cache`` (bypass the result
     cache), ``inject`` (test-only fault seam, honoured only when the
-    daemon runs with ``--allow-test-faults``).
+    daemon runs with ``--allow-test-faults``), ``session`` (capture a
+    warm-start session server-side; the response's ``warm_key`` names
+    it), ``warm_key`` (seed this run from a previously captured session —
+    see ``docs/WARMSTART.md``; an unknown or unusable key degrades to a
+    cold run, never an error).
 ``{"op": "ping"}``
     Liveness probe; echoes the protocol version.
 ``{"op": "stats"}``
@@ -85,6 +89,8 @@ class Request:
     checked: bool = False
     no_cache: bool = False
     inject: Optional[Dict[str, Any]] = None
+    warm_key: Optional[str] = None
+    session: bool = False
 
 
 def parse_request(line: str) -> Request:
@@ -125,6 +131,9 @@ def parse_request(line: str) -> Request:
             not isinstance(value, (int, float)) or value <= 0
         ):
             raise ProtocolError(f"{key} must be a positive number")
+    warm_key = data.get("warm_key")
+    if warm_key is not None and not isinstance(warm_key, str):
+        raise ProtocolError("warm_key must be a string")
     return Request(
         op="minimize",
         id=req_id,
@@ -135,6 +144,8 @@ def parse_request(line: str) -> Request:
         checked=bool(data.get("checked", False)),
         no_cache=bool(data.get("no_cache", False)),
         inject=inject,
+        warm_key=warm_key,
+        session=bool(data.get("session", False)),
     )
 
 

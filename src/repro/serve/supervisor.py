@@ -42,15 +42,23 @@ from __future__ import annotations
 
 import asyncio
 import random
+import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from repro.guard.bundle import options_from_dict, options_to_dict, write_bundle
 from repro.guard.errors import MalformedInstance
 from repro.obs import MetricsRegistry
 from repro.obs.metrics import TIME_BUCKETS_S
-from repro.serve.cache import CACHEABLE_STATUSES, ResultCache, options_fingerprint
+from repro.serve.cache import (
+    CACHEABLE_STATUSES,
+    MalformedCache,
+    ResultCache,
+    options_fingerprint,
+)
+from repro.session.store import SessionStore
 from repro.serve.canon import CanonicalForm, canonicalize
 from repro.serve.protocol import COVER_STATUSES, Request, response
 
@@ -74,6 +82,9 @@ class ServeConfig:
     backoff_cap_s: float = 2.0
     quarantine_threshold: int = 2
     cache_entries: int = 1024
+    session_entries: int = 256
+    malformed_cache_entries: int = 1024
+    canon_memo_entries: int = 512
     bundle_dir: str = "artifacts"
     drain_timeout_s: float = 30.0
     allow_test_faults: bool = False
@@ -98,6 +109,14 @@ class _Job:
     no_cache: bool
     timeout_s: float
     inject: Optional[Dict[str, Any]]
+    #: serialized MinimizationSession looked up from the session store
+    #: (``warm_key`` request field); None runs cold
+    warm_session: Optional[Dict[str, Any]] = None
+    #: ship a session back on the row and store it under the canonical key
+    capture_session: bool = False
+    #: request text is byte-identical to the text that produced the
+    #: session — the worker's planner may skip signature re-derivation
+    warm_text_match: bool = False
     future: "asyncio.Future" = field(repr=False, default=None)
     enqueued_at: float = 0.0
 
@@ -113,6 +132,19 @@ class Supervisor:
         self.config = config or ServeConfig()
         self.registry = registry or MetricsRegistry()
         self.cache = ResultCache(self.config.cache_entries)
+        self.cache.on_evict = lambda: self._count("serve.cache_evictions")
+        self.malformed_cache = MalformedCache(
+            self.config.malformed_cache_entries
+        )
+        self.sessions = SessionStore(self.config.session_entries)
+        # Canonicalization is a pure function of the PLA text, so repeated
+        # submissions of byte-identical text (edit workloads resubmit the
+        # same circuit many times) can skip parse + bounds + canonicalize
+        # entirely.  Keyed by text digest; LRU-bounded.
+        self._canon_memo: "OrderedDict[str, Tuple[CanonicalForm, str]]" = (
+            OrderedDict()
+        )
+        self._canon_memo_lock = threading.Lock()
         self._queue: "asyncio.Queue[_Job]" = asyncio.Queue()
         self._inflight: Dict[tuple, asyncio.Future] = {}
         self._open_futures: set = set()
@@ -180,10 +212,30 @@ class Supervisor:
                 req.id, "shutting_down", error="daemon is draining"
             )
 
+        # Negative cache: a deterministic parse rejection of this exact
+        # text was already answered once — coalesce repeats onto it
+        # without paying the prepare thread again.  Fault-injected and
+        # no_cache requests opt out, mirroring the positive cache.
+        use_negative = not req.no_cache and req.inject is None
+        if use_negative:
+            cached_error = self.malformed_cache.get(
+                MalformedCache.key_for(req.pla)
+            )
+            if cached_error is not None:
+                self._count("serve.malformed")
+                self._count("serve.malformed_cached")
+                return response(
+                    req.id, "malformed", error=cached_error, cached=True
+                )
+
         try:
             prepared = await asyncio.to_thread(self._prepare, req)
         except MalformedInstance as exc:
             self._count("serve.malformed")
+            if use_negative:
+                self.malformed_cache.put(
+                    MalformedCache.key_for(req.pla), str(exc)
+                )
             return response(req.id, "malformed", error=str(exc))
         except _Oversized as exc:
             self._count("serve.shed_oversized")
@@ -284,35 +336,54 @@ class Supervisor:
         from repro.pla import parse_pla
 
         cfg = self.config
-        # Recover the conventional leading "# name" comment so served
-        # covers are byte-identical to offline runs of the same text.
-        name = "request"
-        stripped = req.pla.lstrip()
-        if stripped.startswith("#"):
-            candidate = stripped.splitlines()[0][1:].strip()
-            if candidate:
-                name = candidate.split()[0]
-        try:
-            pla = parse_pla(req.pla, name=name)
-        except ValueError as exc:
-            raise MalformedInstance(str(exc)) from exc
-        n_cubes = len(pla.on) + len(pla.off)
-        if (
-            pla.n_inputs > cfg.max_inputs
-            or n_cubes > cfg.max_cubes
-            or len(pla.transitions) > cfg.max_transitions
-        ):
-            raise _Oversized(
-                f"instance exceeds service limits ({pla.n_inputs} inputs, "
-                f"{n_cubes} cubes, {len(pla.transitions)} transitions; "
-                f"limits {cfg.max_inputs}/{cfg.max_cubes}/"
-                f"{cfg.max_transitions})"
-            )
-        try:
-            instance = pla.to_instance()
-        except ValueError as exc:
-            raise MalformedInstance(str(exc)) from exc
-        canon = canonicalize(instance)
+        digest = MalformedCache.key_for(req.pla)
+        with self._canon_memo_lock:
+            memo = self._canon_memo.get(digest)
+            if memo is not None:
+                self._canon_memo.move_to_end(digest)
+        if memo is not None:
+            # Byte-identical text was prepared before: parse, bounds, and
+            # canonicalize are all pure functions of the text, so the
+            # stored result is exact.  The instance itself is not kept
+            # (the worker re-parses in its own process anyway).
+            canon, name = memo
+            instance = None
+            self._count("serve.canon_memo_hits")
+        else:
+            # Recover the conventional leading "# name" comment so served
+            # covers are byte-identical to offline runs of the same text.
+            name = "request"
+            stripped = req.pla.lstrip()
+            if stripped.startswith("#"):
+                candidate = stripped.splitlines()[0][1:].strip()
+                if candidate:
+                    name = candidate.split()[0]
+            try:
+                pla = parse_pla(req.pla, name=name)
+            except ValueError as exc:
+                raise MalformedInstance(str(exc)) from exc
+            n_cubes = len(pla.on) + len(pla.off)
+            if (
+                pla.n_inputs > cfg.max_inputs
+                or n_cubes > cfg.max_cubes
+                or len(pla.transitions) > cfg.max_transitions
+            ):
+                raise _Oversized(
+                    f"instance exceeds service limits ({pla.n_inputs} "
+                    f"inputs, {n_cubes} cubes, {len(pla.transitions)} "
+                    f"transitions; limits {cfg.max_inputs}/{cfg.max_cubes}/"
+                    f"{cfg.max_transitions})"
+                )
+            try:
+                instance = pla.to_instance()
+            except ValueError as exc:
+                raise MalformedInstance(str(exc)) from exc
+            canon = canonicalize(instance)
+            name = instance.name
+            with self._canon_memo_lock:
+                self._canon_memo[digest] = (canon, name)
+                while len(self._canon_memo) > cfg.canon_memo_entries:
+                    self._canon_memo.popitem(last=False)
 
         options_dict = dict(req.options or {})
         budget_s = req.budget_s if req.budget_s is not None else cfg.budget_s
@@ -333,10 +404,30 @@ class Supervisor:
         timeout_s = min(
             float(req.timeout_s or cfg.job_timeout_s), cfg.job_timeout_s
         )
+        warm_session = None
+        warm_text_match = False
+        if req.warm_key:
+            entry = self.sessions.get(req.warm_key)
+            if entry is None:
+                # Unknown/evicted key: run cold, tell the operator.
+                self._count("warmstart.fallbacks")
+            elif (
+                isinstance(entry, dict)
+                and "session" in entry
+                and "text_sha" in entry
+            ):
+                warm_session = entry["session"]
+                # Byte-identical text parses deterministically to an
+                # identical instance, so the worker's planner may treat
+                # the session as provably identical and skip signature
+                # re-derivation (the Theorem 2.11 verify still runs).
+                warm_text_match = entry["text_sha"] == digest
+            else:  # pragma: no cover - legacy raw-session entries
+                warm_session = entry
         return _Job(
             cache_key=(canon.key, fingerprint),
             pla_text=req.pla,
-            name=instance.name,
+            name=name,
             canon=canon,
             instance=instance,
             options_dict=options_dict,
@@ -344,6 +435,11 @@ class Supervisor:
             no_cache=bool(req.no_cache) or inject is not None,
             timeout_s=timeout_s,
             inject=inject,
+            warm_session=warm_session,
+            # A warm_key request keeps the chain alive: its result is
+            # captured too, so the client can keep editing.
+            capture_session=bool(req.session or req.warm_key),
+            warm_text_match=warm_text_match,
         )
 
     def _respond_from_canonical(
@@ -369,9 +465,14 @@ class Supervisor:
             "time_s",
             "num_cubes",
             "num_literals",
+            "warm",
         ):
             if outcome.get(name) is not None:
                 fields[name] = outcome[name]
+        if job.capture_session and (
+            outcome.get("session_stored") or job.cache_key[0] in self.sessions
+        ):
+            fields["warm_key"] = job.cache_key[0]
         if status in COVER_STATUSES and outcome.get("cover_pla"):
             from repro.pla import format_cover, parse_pla
 
@@ -424,11 +525,38 @@ class Supervisor:
             self._open_futures.discard(job.future)
             if self._inflight.get(job.cache_key) is job.future:
                 del self._inflight[job.cache_key]
+            # The session rides the outcome only across the worker
+            # boundary: it is stored server-side under the canonical key
+            # and never shipped to the client (the ``warm_key`` response
+            # field names it instead).
+            session = outcome.pop("session", None)
+            if session is not None and outcome["status"] == "ok":
+                # The producing text's digest rides along so a later
+                # byte-identical resubmission can be proven identical
+                # without re-deriving signatures.
+                self.sessions.put(
+                    job.cache_key[0],
+                    {
+                        "session": session,
+                        "text_sha": MalformedCache.key_for(job.pla_text),
+                    },
+                )
+                outcome["session_stored"] = True
             if (
                 not job.no_cache
                 and outcome["status"] in CACHEABLE_STATUSES
             ):
-                self.cache.put(job.cache_key, outcome)
+                # Cache entries outlive this request: strip the per-run
+                # warm-start disposition so a later cache hit does not
+                # replay it.
+                self.cache.put(
+                    job.cache_key,
+                    {
+                        k: v
+                        for k, v in outcome.items()
+                        if k not in ("warm", "session_stored")
+                    },
+                )
             if not job.future.done():
                 job.future.set_result(outcome)
 
@@ -445,6 +573,9 @@ class Supervisor:
                 options=None,
                 checked=job.checked,
                 verify=True,
+                warm_session=job.warm_session,
+                capture_session=job.capture_session,
+                warm_text_match=job.warm_text_match,
             )
             payload["options"] = dict(job.options_dict)
             if job.inject is not None:
@@ -516,6 +647,25 @@ class Supervisor:
             "num_literals": row.get("num_literals"),
             "cover_pla": None,
         }
+        if row.get("warm") is not None:
+            outcome["warm"] = row["warm"]
+        if row.get("session") is not None:
+            outcome["session"] = row["session"]
+        if job.warm_session is not None:
+            # Warm-start disposition counters (docs/OBSERVABILITY.md):
+            # a run that used the session (memo import or identical-mode
+            # short-circuit) is a hit; a planner fallback counts like a
+            # store miss.
+            warm = row.get("warm")
+            if warm in ("warm", "identical"):
+                self._count("warmstart.hits")
+            elif warm == "cold" or warm is None:
+                self._count("warmstart.fallbacks")
+            reverified = (row.get("counters") or {}).get(
+                "warm_cubes_reverified", 0
+            )
+            if reverified:
+                self._count("warmstart.cubes_reverified", int(reverified))
         if status in COVER_STATUSES and row.get("cover_pla"):
             from repro.pla import format_cover, parse_pla
 
@@ -533,8 +683,17 @@ class Supervisor:
         self._count("serve.quarantined")
         bundle_path: Optional[str] = None
         try:
+            instance = job.instance
+            if instance is None:
+                # The job was prepared from the canonicalization memo;
+                # rebuild the instance from the text for the bundle.
+                from repro.pla import parse_pla
+
+                instance = parse_pla(
+                    job.pla_text, name=job.name
+                ).to_instance()
             bundle_path = write_bundle(
-                job.instance,
+                instance,
                 failure_kind="crash",
                 failure_message=(
                     f"poison job: killed {crashes} workers; last death: "
@@ -558,6 +717,9 @@ class Supervisor:
             "draining": self._draining,
             "estimated_wait_s": round(self._estimated_wait_s(), 4),
             "cache": self.cache.stats(),
+            "malformed_cache": self.malformed_cache.stats(),
+            "sessions": self.sessions.stats(),
+            "canon_memo_entries": len(self._canon_memo),
             "quarantined": len(self._quarantined),
             "metrics": self.registry.snapshot(),
         }

@@ -1,0 +1,109 @@
+"""Edit-support diffing between a session and a re-submitted instance.
+
+The minimizer reads an instance only through its derived sets (required
+``Q``, privileged ``P``, OFF ``R`` — see
+:func:`repro.session.signature_of`), so edits are diffed at that level:
+an output is *valid* for memo import iff its privileged pairs and OFF
+cubes are set-equal to the session's — exactly the data
+``supercube_dhf`` verdicts depend on (the fixpoint environment of
+:meth:`repro.hf.context.HFContext.supercube_dhf_bits` is built from
+nothing else), so every memo entry confined to valid outputs is
+value-identical to what a cold run would recompute.  Required-cube churn
+does not invalidate memo entries — it only changes *which* probes run —
+but it does feed the edit fraction that triggers the cold fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.hazards.instance import HazardFreeInstance
+from repro.session.session import signature_of
+
+
+@dataclass
+class InstanceDiff:
+    """Edit support between an old signature and a new instance.
+
+    ``valid_outputs`` is a bitmask over output indices whose privileged
+    and OFF sets are unchanged (memo entries touching only these outputs
+    are importable); ``touched_outputs`` is its complement within the
+    shared shape.  ``identical`` means the *ordered* signatures are
+    equal — the strongest statement: the minimizer cannot distinguish
+    the two instances at all.
+    """
+
+    shape_ok: bool
+    identical: bool = False
+    valid_outputs: int = 0
+    touched_outputs: int = 0
+    added_required: int = 0
+    removed_required: int = 0
+    edit_fraction: float = 1.0
+    reasons: List[str] = field(default_factory=list)
+
+
+def compare_signatures(
+    old: Dict[str, Any], new: Dict[str, Any]
+) -> InstanceDiff:
+    """Diff two :func:`~repro.session.signature_of` signatures."""
+    old_outputs = old.get("outputs") or []
+    new_outputs = new.get("outputs") or []
+    if len(old_outputs) != len(new_outputs):
+        return InstanceDiff(shape_ok=False, reasons=["output count differs"])
+    n_outputs = len(new_outputs)
+
+    identical = old == new
+    valid = 0
+    reasons: List[str] = []
+    for j in range(n_outputs):
+        o, n = old_outputs[j], new_outputs[j]
+        # Set-level equality licenses memo import: verdicts depend on the
+        # priv/OFF *sets*, not their order (the fixpoint is confluent and
+        # the OFF test is a union membership).
+        priv_same = frozenset(map(tuple, o.get("priv", []))) == frozenset(
+            map(tuple, n.get("priv", []))
+        )
+        off_same = frozenset(o.get("off", [])) == frozenset(
+            n.get("off", [])
+        )
+        if priv_same and off_same:
+            valid |= 1 << j
+        else:
+            reasons.append(
+                f"output {j}: "
+                + ("priv changed" if not priv_same else "OFF changed")
+            )
+    touched = ((1 << n_outputs) - 1) & ~valid
+
+    old_req = {tuple(pair) for pair in old.get("required_order", [])}
+    new_req = {tuple(pair) for pair in new.get("required_order", [])}
+    added = len(new_req - old_req)
+    removed = len(old_req - new_req)
+    denom = max(1, len(old_req))
+    edit_fraction = (added + removed) / denom
+    return InstanceDiff(
+        shape_ok=True,
+        identical=identical,
+        valid_outputs=valid,
+        touched_outputs=touched,
+        added_required=added,
+        removed_required=removed,
+        edit_fraction=edit_fraction,
+        reasons=reasons,
+    )
+
+
+def diff_instances(
+    old: HazardFreeInstance, new: HazardFreeInstance
+) -> InstanceDiff:
+    """Compute the edit support between two instances.
+
+    Convenience wrapper over :func:`compare_signatures`; the warm-start
+    planner uses the stored session signature directly so the old
+    instance never needs re-deriving.
+    """
+    if (old.n_inputs, old.n_outputs) != (new.n_inputs, new.n_outputs):
+        return InstanceDiff(shape_ok=False, reasons=["shape differs"])
+    return compare_signatures(signature_of(old), signature_of(new))

@@ -1,0 +1,241 @@
+"""The serializable session object and its capture side.
+
+A session records everything a later run needs to *warm-start* on an
+edited copy of the same instance:
+
+* the minimized cover and essential classes (seed / identical-mode
+  short-circuit material),
+* the pipeline's best-verified snapshot (budget-degradation floor),
+* the derived-set **signature** of the producing instance — the per-output
+  required, privileged, and OFF cube lists the algorithm actually
+  consumes.  Diffing is done on signatures, never on raw text, so
+  formatting or comment edits cost nothing,
+* the bounded supercube / escape-row / coverage memo export of
+  :meth:`repro.hf.context.HFContext.export_caches`,
+* the canonical key of :func:`repro.serve.canon.canonicalize` (when the
+  caller computed one), which is the session-store address on the serve
+  path.
+
+Cubes serialize as ``[inbits, outbits]`` integer pairs — the 2-bits-per-
+variable encoding is already a plain int, and Python's ``json`` round-
+trips big ints exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.cubes.cube import Cube
+from repro.hazards.instance import HazardFreeInstance
+
+#: bump when the serialized layout changes; ``plan_warm_start`` falls back
+#: cold on any mismatch rather than guessing at old layouts
+SESSION_VERSION = 1
+
+
+def signature_of(instance: HazardFreeInstance) -> Dict[str, Any]:
+    """The derived-set signature the minimizer's behaviour depends on.
+
+    Per output ``j``: the ordered privileged ``(cube, start)`` input-bit
+    pairs, the ordered OFF-cover input bits, and the ordered required-cube
+    input bits.  Plus the *global* required order, because the pipeline
+    (canonicalize, essentials, the main loop) iterates ``Q`` in that
+    order and the heuristic trace — hence the cover — is order-sensitive.
+    Two instances with equal signatures are indistinguishable to
+    ``espresso_hf``: the algorithm reads the instance only through these
+    sets.
+    """
+    outputs = []
+    for j in range(instance.n_outputs):
+        outputs.append(
+            {
+                "priv": [
+                    [p.cube.inbits, p.start.inbits]
+                    for p in instance.privileged_for_output(j)
+                ],
+                "off": [o.inbits for o in instance.off_for_output(j)],
+                "required": [
+                    q.cube.inbits for q in instance.required_for_output(j)
+                ],
+            }
+        )
+    return {
+        "outputs": outputs,
+        "required_order": [
+            [q.cube.inbits, q.output] for q in instance.required_cubes()
+        ],
+    }
+
+
+def _cube_pairs(cubes) -> List[List[int]]:
+    return [[c.inbits, c.outbits] for c in cubes]
+
+
+@dataclass
+class MinimizationSession:
+    """Capture of one successful minimization run, restore-ready.
+
+    ``caches`` is the portable export of
+    :meth:`~repro.hf.context.HFContext.export_caches`; see that method
+    for the layout.  ``signature`` is :func:`signature_of` applied to the
+    producing instance.  ``canonical_key`` is optional — offline captures
+    may skip the canonicalization cost — but required for storage in a
+    :class:`~repro.session.store.SessionStore`.
+    """
+
+    name: str
+    n_inputs: int
+    n_outputs: int
+    cover: List[List[int]]
+    signature: Dict[str, Any]
+    essentials: List[List[int]] = field(default_factory=list)
+    best: Optional[List[List[int]]] = None
+    caches: Dict[str, Any] = field(default_factory=dict)
+    canonical_key: Optional[str] = None
+    num_canonical_required: int = 0
+    iterations: int = 0
+    status: str = "ok"
+    version: int = SESSION_VERSION
+
+    # ------------------------------------------------------------------
+    # Restore-side helpers
+    # ------------------------------------------------------------------
+
+    def cover_cubes(self) -> List[Cube]:
+        """The session cover as :class:`Cube` objects."""
+        return [
+            Cube(self.n_inputs, inbits, outbits, self.n_outputs)
+            for inbits, outbits in self.cover
+        ]
+
+    def essential_cubes(self) -> List[Cube]:
+        return [
+            Cube(self.n_inputs, inbits, outbits, self.n_outputs)
+            for inbits, outbits in self.essentials
+        ]
+
+    def best_cubes(self) -> Optional[List[Cube]]:
+        if self.best is None:
+            return None
+        return [
+            Cube(self.n_inputs, inbits, outbits, self.n_outputs)
+            for inbits, outbits in self.best
+        ]
+
+    # ------------------------------------------------------------------
+    # Serialization protocol
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": self.version,
+            "name": self.name,
+            "n_inputs": self.n_inputs,
+            "n_outputs": self.n_outputs,
+            "cover": [list(pair) for pair in self.cover],
+            "signature": self.signature,
+            "essentials": [list(pair) for pair in self.essentials],
+            "best": (
+                None
+                if self.best is None
+                else [list(pair) for pair in self.best]
+            ),
+            "caches": self.caches,
+            "canonical_key": self.canonical_key,
+            "num_canonical_required": self.num_canonical_required,
+            "iterations": self.iterations,
+            "status": self.status,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MinimizationSession":
+        """Rebuild a session from :meth:`to_dict` output.
+
+        Raises ``ValueError`` on structurally broken input; version skew
+        is *not* an error here — the warm planner downgrades it to a cold
+        fallback so stale stores stay usable.
+        """
+        if not isinstance(data, dict):
+            raise ValueError("session payload must be a dict")
+        try:
+            return cls(
+                name=str(data.get("name", "session")),
+                n_inputs=int(data["n_inputs"]),
+                n_outputs=int(data["n_outputs"]),
+                cover=[
+                    [int(a), int(b)] for a, b in data.get("cover", [])
+                ],
+                signature=dict(data.get("signature", {})),
+                essentials=[
+                    [int(a), int(b)] for a, b in data.get("essentials", [])
+                ],
+                best=(
+                    None
+                    if data.get("best") is None
+                    else [[int(a), int(b)] for a, b in data["best"]]
+                ),
+                caches=dict(data.get("caches", {})),
+                canonical_key=data.get("canonical_key"),
+                num_canonical_required=int(
+                    data.get("num_canonical_required", 0)
+                ),
+                iterations=int(data.get("iterations", 0)),
+                status=str(data.get("status", "ok")),
+                version=int(data.get("version", 0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"malformed session payload: {exc}") from None
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=1, sort_keys=True)
+
+    @classmethod
+    def load(cls, path: str) -> "MinimizationSession":
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))
+
+
+def capture_session(
+    instance: HazardFreeInstance,
+    cover,
+    ctx,
+    essentials=(),
+    best: Optional[List[Cube]] = None,
+    iterations: int = 0,
+    num_canonical_required: int = 0,
+    canonical_key: Optional[str] = None,
+    max_supercube_entries: int = 50_000,
+    max_escape_rows: int = 4_096,
+) -> MinimizationSession:
+    """Capture a finished run's state into a session.
+
+    ``ctx`` is the run's :class:`~repro.hf.context.HFContext`; its memo
+    tables are exported in portable (position-independent) form.  Callers
+    that know the canonical key (the serve path, `--session-out` with
+    canonicalization enabled) pass it so the session is store-addressable.
+    """
+    caches = ctx.export_caches(
+        max_supercube_entries=max_supercube_entries,
+        max_escape_rows=max_escape_rows,
+    )
+    return MinimizationSession(
+        name=instance.name,
+        n_inputs=instance.n_inputs,
+        n_outputs=instance.n_outputs,
+        cover=_cube_pairs(cover),
+        signature=signature_of(instance),
+        essentials=_cube_pairs(essentials),
+        best=None if best is None else _cube_pairs(best),
+        caches=caches,
+        canonical_key=canonical_key,
+        num_canonical_required=num_canonical_required,
+        iterations=iterations,
+        status="ok",
+    )
+
+
+def _as_pair_list(value) -> List[Tuple[int, int]]:
+    return [(int(a), int(b)) for a, b in value]

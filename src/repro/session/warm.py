@@ -1,0 +1,169 @@
+"""Warm-start planning: identical short-circuit, memo import, or cold.
+
+Given a stored :class:`~repro.session.MinimizationSession` and the newly
+submitted instance, :func:`plan_warm_start` decides one of three modes:
+
+``identical``
+    The ordered signatures are equal — the minimizer cannot distinguish
+    the instances, so the session cover *is* the cold cover.  The caller
+    still re-verifies it with the Theorem 2.11 checker (defence against
+    corrupt or hand-edited sessions) and falls back cold on violation.
+``warm``
+    The edit is small enough: memo entries confined to unchanged outputs
+    are imported (value-identical to a cold recomputation, so the final
+    cover stays byte-identical to the cold run), and the prior cover — if
+    it re-verifies hazard-free on the *new* instance — seeds the
+    pipeline's budget-degradation floor via ``start_from=``.
+``cold``
+    Shape or version mismatch, irreconcilable labeling (every output
+    touched), or edit fraction above the threshold: run as if no session
+    existed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cubes.cover import Cover
+from repro.cubes.cube import Cube
+from repro.hazards.instance import HazardFreeInstance
+from repro.hazards.verify import verify_hazard_free_cover
+from repro.session.diff import InstanceDiff, compare_signatures
+from repro.session.session import (
+    SESSION_VERSION,
+    MinimizationSession,
+    signature_of,
+)
+
+#: above this (added + removed) / old required-cube churn the diff is "too
+#: large" and the planner goes cold — importing a handful of stale-free
+#: memo entries cannot pay for the planning and verification overhead
+DEFAULT_MAX_EDIT_FRACTION = 0.5
+
+
+@dataclass
+class WarmStartPlan:
+    """Outcome of warm-start planning (see module docstring)."""
+
+    mode: str  # "identical" | "warm" | "cold"
+    reasons: List[str] = field(default_factory=list)
+    diff: Optional[InstanceDiff] = None
+    valid_outputs: int = 0
+    #: session cover, re-verified hazard-free on the *new* instance —
+    #: identical-mode result / budget-floor seed; None if verification
+    #: failed or was skipped
+    seed: Optional[List[Cube]] = None
+    cubes_reverified: int = 0
+
+
+def plan_warm_start(
+    session: MinimizationSession,
+    instance: HazardFreeInstance,
+    max_edit_fraction: float = DEFAULT_MAX_EDIT_FRACTION,
+    assume_identical: bool = False,
+) -> WarmStartPlan:
+    """Classify a warm-start attempt against ``instance``.
+
+    Never raises on bad sessions — every defect downgrades to a cold
+    plan with a reason string (surfaced through the ``warmstart.
+    fallbacks`` counter and the run trace).
+
+    ``assume_identical`` skips the signature derivation and comparison:
+    the caller proved externally that ``instance`` is the same instance
+    the session was captured from (the serve layer does this by digest —
+    byte-identical request text parses deterministically to an identical
+    instance, hence an identical signature).  The defensive Theorem 2.11
+    re-verification of the session cover still runs; only the provably
+    redundant signature work is skipped.
+    """
+    if session.version != SESSION_VERSION:
+        return WarmStartPlan(
+            "cold", [f"session version {session.version} != {SESSION_VERSION}"]
+        )
+    if session.status != "ok":
+        return WarmStartPlan("cold", [f"session status {session.status!r}"])
+    if (session.n_inputs, session.n_outputs) != (
+        instance.n_inputs,
+        instance.n_outputs,
+    ):
+        return WarmStartPlan(
+            "cold",
+            [
+                f"shape {session.n_inputs}x{session.n_outputs} != "
+                f"{instance.n_inputs}x{instance.n_outputs}"
+            ],
+        )
+    if assume_identical:
+        diff = InstanceDiff(
+            shape_ok=True,
+            identical=True,
+            valid_outputs=(1 << instance.n_outputs) - 1,
+            edit_fraction=0.0,
+            reasons=["identical by caller proof (text digest)"],
+        )
+    else:
+        try:
+            diff = compare_signatures(
+                session.signature, signature_of(instance)
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            return WarmStartPlan("cold", [f"signature diff failed: {exc}"])
+        if not diff.shape_ok:
+            return WarmStartPlan("cold", diff.reasons, diff=diff)
+
+    # Re-verify the prior cover against the *new* instance.  In identical
+    # mode this is the defensive Theorem 2.11 gate before short-circuiting;
+    # in warm mode it licenses the cover as a budget-degradation floor.
+    seed: Optional[List[Cube]] = None
+    reverified = 0
+    try:
+        cubes = session.cover_cubes()
+        cover = Cover(instance.n_inputs, cubes, instance.n_outputs)
+        if not verify_hazard_free_cover(instance, cover):
+            seed = cubes
+            reverified = len(cubes)
+    except (TypeError, ValueError):
+        seed = None
+
+    if diff.identical:
+        if seed is None:
+            # A session claiming to match byte-for-byte but failing the
+            # verifier is corrupt — never trust its caches either.
+            return WarmStartPlan(
+                "cold", ["identical signature but cover failed verification"],
+                diff=diff,
+            )
+        return WarmStartPlan(
+            "identical",
+            ["signatures identical"],
+            diff=diff,
+            valid_outputs=diff.valid_outputs,
+            seed=seed,
+            cubes_reverified=reverified,
+        )
+
+    if diff.valid_outputs == 0:
+        return WarmStartPlan(
+            "cold",
+            ["no unchanged outputs (labeling irreconcilable or global edit)"]
+            + diff.reasons,
+            diff=diff,
+        )
+    if diff.edit_fraction > max_edit_fraction:
+        return WarmStartPlan(
+            "cold",
+            [
+                f"edit fraction {diff.edit_fraction:.2f} > "
+                f"{max_edit_fraction:.2f}"
+            ],
+            diff=diff,
+        )
+    return WarmStartPlan(
+        "warm",
+        diff.reasons or ["required-cube churn only"],
+        diff=diff,
+        valid_outputs=diff.valid_outputs,
+        seed=seed,
+        cubes_reverified=reverified,
+    )

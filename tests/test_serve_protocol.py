@@ -118,3 +118,38 @@ class TestResultCache:
             "entries": 0, "max_entries": 4,
             "hits": 0, "misses": 1, "evictions": 0,
         }
+
+    def test_on_evict_callback_fires_per_eviction(self):
+        cache = ResultCache(max_entries=1)
+        fired = []
+        cache.on_evict = lambda: fired.append(1)
+        cache.put(("a", "o"), {"status": "ok"})
+        cache.put(("b", "o"), {"status": "ok"})
+        cache.put(("c", "o"), {"status": "ok"})
+        assert len(fired) == 2 == cache.evictions
+
+
+class TestMalformedCache:
+    def test_negative_caches_by_text_digest(self):
+        from repro.serve.cache import MalformedCache
+
+        cache = MalformedCache(max_entries=4)
+        key = MalformedCache.key_for(".i 2\n.o\n")
+        assert cache.get(key) is None
+        cache.put(key, "line 2: .o needs one integer argument")
+        assert cache.get(key) == "line 2: .o needs one integer argument"
+        assert key == MalformedCache.key_for(".i 2\n.o\n")
+        assert key != MalformedCache.key_for(".i 2\n.o 1\n")
+
+    def test_lru_eviction_counts(self):
+        from repro.serve.cache import MalformedCache
+
+        cache = MalformedCache(max_entries=2)
+        cache.put("a", "e1")
+        cache.put("b", "e2")
+        assert cache.get("a") == "e1"  # refresh a
+        cache.put("c", "e3")  # evicts b
+        assert cache.get("b") is None
+        stats = cache.stats()
+        assert stats["evictions"] == 1
+        assert stats["entries"] == 2

@@ -116,6 +116,79 @@ class TestCaching:
         assert reply["cached"] is False
 
 
+class TestWarmStart:
+    """Session store + warm_key protocol through real sockets."""
+
+    def _metric(self, client, name):
+        metrics = client.stats()["stats"]["metrics"]
+        return metrics.get(name, {}).get("value", 0)
+
+    def test_session_capture_returns_warm_key(self, client):
+        reply = client.minimize(
+            bench_pla("pscsi-tsend"), session=True, no_cache=True
+        )
+        assert reply["ok"]
+        assert isinstance(reply.get("warm_key"), str)
+
+    def test_identical_resubmit_warm_starts(self, client):
+        pla = bench_pla("pscsi-pscsi")
+        base = client.minimize(pla, session=True, no_cache=True)
+        hits_before = self._metric(client, "warmstart.hits")
+        warm = client.minimize(
+            pla, warm_key=base["warm_key"], no_cache=True
+        )
+        assert warm["ok"] and warm["warm"] == "identical"
+        assert warm["cover_pla"] == base["cover_pla"]
+        assert self._metric(client, "warmstart.hits") > hits_before
+
+    def test_edited_resubmit_matches_cold(self, client):
+        from repro.proptest.metamorphic import subset_transitions_instance
+
+        inst = build_benchmark("pscsi-tsend")
+        base = client.minimize(
+            format_pla(inst), session=True, no_cache=True
+        )
+        keep = list(range(len(inst.transitions) - 1))
+        edited = subset_transitions_instance(inst, keep)
+        edited_pla = format_pla(edited)
+        cold = client.minimize(edited_pla, no_cache=True)
+        warm = client.minimize(
+            edited_pla, warm_key=base["warm_key"], no_cache=True
+        )
+        assert warm["ok"] and warm.get("warm") in ("warm", "identical")
+        assert warm["cover_pla"] == cold["cover_pla"]
+        cover = parse_pla(warm["cover_pla"]).on
+        assert not verify_hazard_free_cover(edited, cover)
+        # The warm result chains: it carries its own warm_key.
+        assert isinstance(warm.get("warm_key"), str)
+
+    def test_unknown_warm_key_falls_back_cold(self, client):
+        fallbacks_before = self._metric(client, "warmstart.fallbacks")
+        reply = client.minimize(
+            bench_pla("pscsi-ircv"),
+            warm_key="0" * 64,
+            no_cache=True,
+        )
+        assert reply["ok"]
+        assert reply.get("warm") is None
+        assert self._metric(client, "warmstart.fallbacks") > fallbacks_before
+
+    def test_malformed_rejection_is_negatively_cached(self, daemon):
+        # Fresh client + unique malformed text so the module-scoped
+        # daemon's negative cache starts cold for this key.
+        with_client = ServeClient(daemon.host, daemon.port)
+        try:
+            bad = ".i 3\n.o\n# negative-cache probe\n"
+            first = with_client.minimize(bad)
+            second = with_client.minimize(bad)
+        finally:
+            with_client.close()
+        assert first["status"] == second["status"] == "malformed"
+        assert first.get("cached") is not True
+        assert second.get("cached") is True
+        assert second["error"] == first["error"]
+
+
 class TestAdmissionControl:
     def test_oversized_instance_is_shed(self, client):
         # cache-ctrl has 20 inputs; the test daemon caps at 16.

@@ -1,0 +1,226 @@
+"""Minimization sessions: capture/restore, warm planning, byte-identity.
+
+The contract under test (docs/WARMSTART.md): a warm-started run returns a
+cover **byte-identical** to the cold run of the same instance — identical
+mode short-circuits to the session cover only after the Theorem 2.11
+verifier re-accepts it, and warm mode only imports memo entries a cold
+run would recompute to the same values.  The Hypothesis edit-sequence
+property drives whole chains of transition-drop edits through both arms.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bm.benchmarks import build_benchmark
+from repro.hazards.verify import verify_hazard_free_cover
+from repro.hf import espresso_hf
+from repro.pla import format_cover
+from repro.proptest.metamorphic import subset_transitions_instance
+from repro.proptest.strategies import InstanceConfig, solvable_instances
+from repro.session import (
+    SESSION_VERSION,
+    MinimizationSession,
+    SessionStore,
+    plan_warm_start,
+    signature_of,
+)
+from repro.session.diff import compare_signatures, diff_instances
+
+SMALL = InstanceConfig(
+    max_inputs=4, max_outputs=2, max_on_cubes=5, max_transitions=3
+)
+
+
+def cold_with_session(inst):
+    result = espresso_hf(inst, capture_session=True)
+    assert result.session is not None
+    return result
+
+
+def drop_chain(inst, k, seed=0):
+    """Up to ``k`` chained single-transition drops (the edit model)."""
+    rng = random.Random(seed)
+    chain = [inst]
+    cur = inst
+    for _ in range(k):
+        if len(cur.transitions) <= 2:
+            break
+        drop = rng.randrange(len(cur.transitions))
+        keep = [i for i in range(len(cur.transitions)) if i != drop]
+        cur = subset_transitions_instance(cur, keep)
+        chain.append(cur)
+    return chain
+
+
+class TestCaptureRestore:
+    def test_dict_round_trip(self):
+        session = cold_with_session(build_benchmark("dram-ctrl")).session
+        back = MinimizationSession.from_dict(session.to_dict())
+        assert back.to_dict() == session.to_dict()
+        assert back.cover_cubes() == session.cover_cubes()
+
+    def test_file_round_trip(self, tmp_path):
+        session = cold_with_session(build_benchmark("dram-ctrl")).session
+        path = str(tmp_path / "s.session.json")
+        session.save(path)
+        assert MinimizationSession.load(path).to_dict() == session.to_dict()
+
+    @pytest.mark.parametrize(
+        "payload",
+        [None, [], "x", {"n_inputs": "no"}, {"n_inputs": 2}],
+    )
+    def test_from_dict_rejects_garbage(self, payload):
+        with pytest.raises(ValueError):
+            MinimizationSession.from_dict(payload)
+
+    def test_capture_only_on_ok(self):
+        inst = build_benchmark("dram-ctrl")
+        result = espresso_hf(inst)
+        assert result.session is None  # not requested
+
+
+class TestSignatures:
+    def test_same_instance_is_identical(self):
+        inst = build_benchmark("pscsi-ircv")
+        diff = compare_signatures(signature_of(inst), signature_of(inst))
+        assert diff.identical and diff.shape_ok
+        assert diff.valid_outputs == (1 << inst.n_outputs) - 1
+
+    def test_transition_drop_is_not_identical(self):
+        inst = build_benchmark("pscsi-tsend")
+        chain = drop_chain(inst, 1)
+        assert len(chain) == 2
+        diff = diff_instances(chain[0], chain[1])
+        assert not diff.identical
+
+    def test_shape_mismatch_is_flagged(self):
+        a = build_benchmark("dram-ctrl")
+        b = build_benchmark("cache-ctrl")
+        diff = diff_instances(a, b)
+        assert not diff.shape_ok and not diff.identical
+
+
+class TestPlanner:
+    def test_identical_short_circuit(self):
+        inst = build_benchmark("dram-ctrl")
+        session = cold_with_session(inst).session
+        plan = plan_warm_start(session, inst)
+        assert plan.mode == "identical"
+        assert plan.seed is not None
+        assert plan.cubes_reverified == len(session.cover)
+
+    def test_version_skew_goes_cold(self):
+        inst = build_benchmark("dram-ctrl")
+        session = cold_with_session(inst).session
+        session.version = SESSION_VERSION + 1
+        assert plan_warm_start(session, inst).mode == "cold"
+
+    def test_shape_mismatch_goes_cold(self):
+        session = cold_with_session(build_benchmark("dram-ctrl")).session
+        other = build_benchmark("cache-ctrl")
+        assert plan_warm_start(session, other).mode == "cold"
+
+    def test_tampered_cover_goes_cold(self):
+        # Signatures match but the cover no longer verifies: a session
+        # claiming identity must never be trusted past Theorem 2.11.
+        inst = build_benchmark("dram-ctrl")
+        session = cold_with_session(inst).session
+        session.cover = session.cover[:1]
+        plan = plan_warm_start(session, inst)
+        assert plan.mode == "cold"
+        assert any("failed verification" in r for r in plan.reasons)
+
+    def test_assume_identical_skips_signature_not_verify(self):
+        inst = build_benchmark("dram-ctrl")
+        session = cold_with_session(inst).session
+        # Poison the stored signature: with the caller's identity proof
+        # the planner must not even read it ...
+        session.signature = {"outputs": "garbage"}
+        plan = plan_warm_start(session, inst, assume_identical=True)
+        assert plan.mode == "identical"
+        # ... but the defensive cover verification still runs.
+        session.cover = session.cover[:1]
+        plan = plan_warm_start(session, inst, assume_identical=True)
+        assert plan.mode == "cold"
+
+    def test_warm_result_flags_mode(self):
+        inst = build_benchmark("pscsi-tsend")
+        chain = drop_chain(inst, 1)
+        session = cold_with_session(chain[0]).session
+        warm = espresso_hf(chain[1], warm_start=session)
+        assert warm.warm in ("warm", "cold")
+        ident = espresso_hf(chain[0], warm_start=session)
+        assert ident.warm == "identical"
+
+
+class TestWarmByteIdentity:
+    @pytest.mark.parametrize("name", ["pscsi-tsend", "sd-control"])
+    def test_edit_chain_matches_cold(self, name):
+        chain = drop_chain(build_benchmark(name), 2)
+        session = cold_with_session(chain[0]).session
+        for edited in chain[1:]:
+            cold = espresso_hf(edited)
+            warm = espresso_hf(
+                edited, warm_start=session, capture_session=True
+            )
+            assert format_cover(warm.cover) == format_cover(cold.cover)
+            assert not verify_hazard_free_cover(edited, warm.cover)
+            session = warm.session or session
+
+    def test_identical_resubmit_is_byte_identical(self):
+        inst = build_benchmark("pscsi-pscsi")
+        cold = cold_with_session(inst)
+        warm = espresso_hf(inst, warm_start=cold.session)
+        assert warm.warm == "identical"
+        assert format_cover(warm.cover) == format_cover(cold.cover)
+
+
+class TestSessionStore:
+    def test_lru_eviction(self):
+        store = SessionStore(max_entries=2)
+        store.put("a", {"v": 1})
+        store.put("b", {"v": 2})
+        assert store.get("a") == {"v": 1}  # refresh a
+        store.put("c", {"v": 3})  # evicts b
+        assert "b" not in store and "a" in store and "c" in store
+        stats = store.stats()
+        assert stats["evictions"] == 1 and stats["entries"] == 2
+
+    def test_miss_counts(self):
+        store = SessionStore(max_entries=2)
+        assert store.get("nope") is None
+        assert store.stats()["misses"] == 1
+
+
+class TestEditSequenceProperty:
+    @settings(deadline=None)
+    @given(solvable_instances(SMALL), st.data())
+    def test_warm_chain_matches_cold_and_round_trips(self, inst, data):
+        """Whole edit sequences: warm == cold, hazard-free, serializable."""
+        base = espresso_hf(inst, capture_session=True)
+        if base.session is None:  # degraded base run cannot seed
+            return
+        # Serialization round-trip must preserve planner behaviour.
+        session = MinimizationSession.from_dict(base.session.to_dict())
+        assert plan_warm_start(session, inst).mode == "identical"
+        cur = inst
+        for _ in range(data.draw(st.integers(1, 3))):
+            if len(cur.transitions) < 2:
+                return
+            drop = data.draw(
+                st.integers(0, len(cur.transitions) - 1)
+            )
+            keep = [i for i in range(len(cur.transitions)) if i != drop]
+            cur = subset_transitions_instance(cur, keep)
+            cold = espresso_hf(cur)
+            warm = espresso_hf(
+                cur, warm_start=session, capture_session=True
+            )
+            assert format_cover(warm.cover) == format_cover(cold.cover)
+            assert not verify_hazard_free_cover(cur, warm.cover)
+            if warm.session is not None:
+                session = MinimizationSession.from_dict(
+                    warm.session.to_dict()
+                )
