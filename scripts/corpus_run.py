@@ -1,0 +1,190 @@
+#!/usr/bin/env python
+"""Corpus-wide exact-vs-heuristic differential: the scale-out driver.
+
+Generates (or loads) a stratified corpus, runs every instance through the
+shard executor's ``differential`` worker — Espresso-HF and the exact flow
+side by side, every heuristic cover re-verified under Theorem 2.11 — and
+folds the out-of-order shard rows into the quality/latency scoreboard via
+associative :mod:`repro.obs` snapshot merges.
+
+Usage::
+
+    python scripts/corpus_run.py --seed 2026 --count 50 --jobs 2
+    python scripts/corpus_run.py --corpus data/corpus-2026 --jobs 8 \\
+        --checkpoint out/corpus.ck.ndjson --json out/scoreboard.json
+    python scripts/corpus_run.py --seed 2026 --count 1000 --timeout 60 \\
+        --bundle-dir out/bundles --json out/scoreboard.json
+
+Exit codes (see docs/FAILURES.md):
+
+* 0 — run completed, zero unexplained disagreements
+* 6 — internal driver error
+* 7 — at least one **unexplained** exact/heuristic disagreement
+  (bundles written when ``--bundle-dir`` is set)
+
+Interrupted runs resume: re-running with the same ``--checkpoint`` path
+executes only the tasks the previous run did not finish.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+SCRIPTS_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(SCRIPTS_DIR)
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+EXIT_OK = 0
+EXIT_INTERNAL = 6
+EXIT_UNEXPLAINED = 7
+
+
+def _load_instances(args):
+    """Yield (name, stratum, pla_text, solvable) for the selected corpus."""
+    if args.corpus:
+        from repro.corpus import load_frozen_corpus, parse_manifest
+
+        manifest = parse_manifest(
+            open(
+                os.path.join(args.corpus, "manifest.json"), encoding="utf-8"
+            ).read()
+        )
+        instances = load_frozen_corpus(args.corpus, limit=args.limit)
+        seed = manifest.seed
+    else:
+        from repro.corpus import generate_corpus
+
+        instances = generate_corpus(seed=args.seed, count=args.count)
+        seed = args.seed
+    return seed, [
+        (i.name, i.stratum, i.pla_text, i.solvable) for i in instances
+    ]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="corpus-wide exact-vs-heuristic differential scoreboard"
+    )
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument(
+        "--corpus",
+        default=None,
+        help="frozen corpus directory (manifest.json + instances/)",
+    )
+    source.add_argument(
+        "--seed", type=int, default=2026, help="generate a corpus in memory"
+    )
+    parser.add_argument(
+        "--count", type=int, default=50, help="instances to generate (default 50)"
+    )
+    parser.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="run only the first N instances of a frozen corpus",
+    )
+    parser.add_argument("--jobs", type=int, default=2, help="worker slots")
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        help="per-instance wall-clock timeout in seconds",
+    )
+    parser.add_argument(
+        "--exact-time-limit",
+        type=float,
+        default=20.0,
+        help="exact-flow time budget per instance in seconds",
+    )
+    parser.add_argument(
+        "--checkpoint", default=None, help="resumable NDJSON checkpoint path"
+    )
+    parser.add_argument(
+        "--bundle-dir",
+        default=None,
+        help="write repro bundles for unexplained disagreements here",
+    )
+    parser.add_argument(
+        "--json", default=None, help="write the scoreboard JSON here"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-task progress"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.corpus import (
+        build_scoreboard,
+        differential_payload,
+        format_scoreboard,
+        run_corpus,
+        unexplained_rows,
+    )
+
+    try:
+        seed, items = _load_instances(args)
+    except Exception as exc:  # noqa: BLE001 - CLI boundary
+        print(f"corpus_run: cannot load corpus: {exc}", file=sys.stderr)
+        return EXIT_INTERNAL
+
+    payloads = [
+        differential_payload(
+            name,
+            pla_text,
+            stratum=stratum,
+            solvable=solvable,
+            timeout_s=args.timeout,
+            exact_budget={"time_limit_s": args.exact_time_limit},
+        )
+        for name, stratum, pla_text, solvable in items
+    ]
+    print(
+        f"corpus_run: {len(payloads)} instances, {args.jobs} jobs, "
+        f"timeout {args.timeout:g}s (seed {seed})"
+    )
+
+    done = {"n": 0}
+
+    def on_row(tid, row):
+        done["n"] += 1
+        if not args.quiet:
+            flag = "" if row.get("explained", True) else "  <-- UNEXPLAINED"
+            src = " (checkpoint)" if row.get("from_checkpoint") else ""
+            print(
+                f"[{done['n']}/{len(payloads)}] {tid}: "
+                f"{row.get('verdict') or row.get('status')}{src}{flag}"
+            )
+
+    try:
+        rows, stats = run_corpus(
+            payloads,
+            jobs=args.jobs,
+            timeout_s=args.timeout,
+            checkpoint=args.checkpoint,
+            bundle_dir=args.bundle_dir,
+            on_row=on_row,
+        )
+    except Exception as exc:  # noqa: BLE001 - CLI boundary
+        print(f"corpus_run: executor failed: {exc}", file=sys.stderr)
+        return EXIT_INTERNAL
+
+    board = build_scoreboard(rows, stats.as_dict(), seed=seed)
+    print()
+    print(format_scoreboard(board))
+    if args.json:
+        out = os.path.abspath(args.json)
+        os.makedirs(os.path.dirname(out) or ".", exist_ok=True)
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(board, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"scoreboard JSON: {out}")
+
+    if unexplained_rows(rows):
+        return EXIT_UNEXPLAINED
+    return EXIT_OK
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,17 +1,38 @@
-"""Regenerate the frozen PLA corpus under data/benchmarks/.
+"""Freeze PLA corpora to disk.
 
-Run after intentional changes to the benchmark generator:
+Two modes:
 
-    python scripts/freeze_corpus.py
+* no arguments — regenerate the 15-benchmark Figure-8 corpus under
+  ``data/benchmarks/`` (the original behaviour; run after intentional
+  changes to the benchmark generator)::
+
+      python scripts/freeze_corpus.py
+
+* ``--seed/--count`` — freeze a stratified synthetic corpus
+  (:mod:`repro.corpus`) with a canonical ``manifest.json`` whose bytes
+  are a pure function of ``(seed, count)``::
+
+      python scripts/freeze_corpus.py --seed 2026 --count 1000 --out data/corpus-1k
+
+  The manifest records a sha256 per instance; ``repro.corpus.
+  load_frozen_corpus`` re-verifies every hash on load, so a frozen corpus
+  is tamper-evident.  See docs/CORPUS.md.
 """
 
+import argparse
+import os
+import sys
 from pathlib import Path
 
-from repro.bm.benchmarks import BENCHMARKS, build_benchmark
-from repro.pla import write_pla
+SCRIPTS_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(SCRIPTS_DIR)
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
 
-def main() -> None:
+def freeze_benchmarks() -> int:
+    from repro.bm.benchmarks import BENCHMARKS, build_benchmark
+    from repro.pla import write_pla
+
     out_dir = Path("data/benchmarks")
     out_dir.mkdir(parents=True, exist_ok=True)
     for bench in BENCHMARKS:
@@ -20,7 +41,49 @@ def main() -> None:
         write_pla(instance, path)
         print(f"wrote {path} ({instance.n_inputs}/{instance.n_outputs}, "
               f"{len(instance.transitions)} transitions)")
+    return 0
+
+
+def freeze_stratified(seed: int, count: int, out: str) -> int:
+    from repro.corpus import generate_corpus, write_frozen_corpus
+
+    instances = generate_corpus(seed=seed, count=count)
+    manifest = write_frozen_corpus(out, instances, seed=seed)
+    counts = manifest.stratum_counts()
+    print(f"froze {len(instances)} instances to {out} (seed={seed})")
+    for name, n in sorted(counts.items()):
+        print(f"  {name:<14} {n}")
+    print(f"manifest: {Path(out) / 'manifest.json'}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="freeze a stratified synthetic corpus with this seed",
+    )
+    parser.add_argument(
+        "--count",
+        type=int,
+        default=1000,
+        help="number of instances for the stratified corpus (default 1000)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="output directory (default data/corpus-<seed>)",
+    )
+    args = parser.parse_args(argv)
+    if args.seed is None:
+        if args.out is not None:
+            parser.error("--out requires --seed (stratified mode)")
+        return freeze_benchmarks()
+    out = args.out or f"data/corpus-{args.seed}"
+    return freeze_stratified(args.seed, args.count, out)
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

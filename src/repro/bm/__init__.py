@@ -17,7 +17,11 @@ from asynchronous burst-mode controllers.  This package provides:
 
 from repro.bm.spec import BurstModeSpec, BurstModeState, BurstTransition, SpecError
 from repro.bm.synthesis import synthesize
-from repro.bm.random_spec import random_instance, random_burst_mode_spec
+from repro.bm.random_spec import (
+    random_instance,
+    random_burst_mode_spec,
+    random_burst_mode_instance,
+)
 from repro.bm.benchmarks import benchmark_suite, build_benchmark, BENCHMARKS
 from repro.bm.library import build_controller, controller_names, CONTROLLERS
 
@@ -29,6 +33,7 @@ __all__ = [
     "synthesize",
     "random_instance",
     "random_burst_mode_spec",
+    "random_burst_mode_instance",
     "benchmark_suite",
     "build_benchmark",
     "BENCHMARKS",

@@ -136,3 +136,48 @@ def random_burst_mode_spec(
                 f"s{s}", f"s{target}", input_burst=burst, output_burst=out_burst
             )
     return spec
+
+
+def random_burst_mode_instance(
+    n_inputs: int,
+    n_outputs: int,
+    n_states: int,
+    seed: int = 0,
+    max_burst: int = 3,
+    branching: int = 2,
+    max_seed_tries: int = 30,
+    require_solvable: bool = True,
+) -> Optional[HazardFreeInstance]:
+    """A random burst-mode *instance*: spec → synthesis → solvability check.
+
+    One-stop generator for corpus builds (:mod:`repro.corpus.generator`):
+    draws :func:`random_burst_mode_spec` machines at ``seed``, ``seed+1``,
+    … until synthesis succeeds and (with ``require_solvable``) Theorem 4.1
+    admits a hazard-free cover, or ``max_seed_tries`` seeds are exhausted
+    (then ``None``).  Deterministic for a given argument tuple.  Note the
+    synthesized instance is wider than the spec: one-hot state bits are
+    appended to both inputs and outputs (see :func:`repro.bm.synthesis.
+    synthesize`).
+    """
+    from repro.bm.spec import SpecError
+    from repro.bm.synthesis import synthesize
+    from repro.hazards.existence import hazard_free_solution_exists
+
+    for s in range(seed, seed + max_seed_tries):
+        try:
+            spec = random_burst_mode_spec(
+                n_inputs,
+                n_outputs,
+                n_states,
+                seed=s,
+                max_burst=max_burst,
+                branching=branching,
+            )
+            result = synthesize(spec)
+        except SpecError:
+            continue
+        instance = result.instance
+        if require_solvable and not hazard_free_solution_exists(instance):
+            continue
+        return instance
+    return None

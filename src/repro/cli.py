@@ -333,6 +333,10 @@ def _run_command(args, tracer) -> int:
             result = exact_hazard_free_minimize(
                 instance, budget=ExactBudget(time_limit_s=args.exact_time_limit)
             )
+            if result.status == "no_solution":
+                print(f"NO hazard-free cover exists: {result.detail}",
+                      file=sys.stderr)
+                return EXIT_NO_SOLUTION
             cover = result.cover
             if args.stats:
                 print(f"# dhf-primes: {result.num_dhf_primes}", file=sys.stderr)

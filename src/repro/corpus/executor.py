@@ -1,0 +1,474 @@
+"""Work-stealing shard executor: shared queue, crash isolation, resume.
+
+The generalization of :mod:`repro.guard.runner`'s batch runner that a
+1k–10k instance corpus needs.  Three ideas compose:
+
+**Work stealing over a shared queue.**  Payloads go into one pending
+queue; up to ``jobs`` worker *slots* pull from it, and a slot takes the
+next task the moment its previous one finishes.  Instance cost in a
+stratified corpus is wildly non-uniform (a ``medium`` exact run can cost
+1000× a ``tiny`` one), so static sharding would leave most slots idle
+behind the slowest shard; the shared queue keeps every slot busy until
+the queue drains.
+
+**Crash isolation via single-shot processes.**  Each task runs in its own
+freshly forked process (the PR 7 crash-safe design): a worker SIGKILLed
+mid-task yields a structured ``worker_crashed`` row for *that* task —
+exit signal attached, retried up to ``retries`` times since a vanished
+worker does not indict the instance — while every other task proceeds.
+A long-lived pool cannot promise that (a dead pool worker can hang
+``Pool.map`` forever), and a hang is the one failure a 10k-instance
+overnight run cannot absorb.  Per-task wall-clock timeouts terminate
+overrunners the same way.
+
+**Resumable checkpointing.**  Completed rows append to an NDJSON
+checkpoint file keyed by task id, flushed per row.  Re-running the same
+command with the same checkpoint path skips exactly the completed tasks
+(a torn final line from a killed run is detected and ignored), so an
+interrupted overnight sweep resumes instead of restarting.
+
+The worker body is dispatched per-payload through :data:`WORKERS` —
+``"minimize"`` (the guard runner's single-minimizer body) or
+``"differential"`` (:mod:`repro.corpus.differential`) — and the NDJSON
+line codec (:func:`encode_line` / :func:`decode_line`) doubles as the
+transport seam: :mod:`repro.corpus.worker` reads task lines on stdin and
+writes row lines on stdout, so a shard can run on a remote machine behind
+nothing fancier than an ssh pipe.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import queue as queue_mod
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+
+def _minimize_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.guard.runner import minimize_payload
+
+    return minimize_payload(payload)
+
+
+def _differential_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.corpus.differential import run_differential_payload
+
+    return run_differential_payload(payload)
+
+
+#: payload["worker"] -> in-process body; every body returns a structured
+#: row and never raises (the isolation boundary catches what slips)
+WORKERS: Dict[str, Callable[[Dict[str, Any]], Dict[str, Any]]] = {
+    "minimize": _minimize_worker,
+    "differential": _differential_worker,
+}
+
+
+def resolve_worker(payload: Dict[str, Any]) -> Callable[[Dict[str, Any]], Dict[str, Any]]:
+    name = payload.get("worker", "minimize")
+    worker = WORKERS.get(name)
+    if worker is None:
+        raise ValueError(
+            f"unknown worker {name!r}; known: {sorted(WORKERS)}"
+        )
+    return worker
+
+
+def task_id(payload: Dict[str, Any]) -> str:
+    """Stable identity of one task (checkpoint key)."""
+    tid = payload.get("task_id") or payload.get("name")
+    if not tid:
+        raise ValueError("payload needs a 'task_id' or 'name' key")
+    return str(tid)
+
+
+# ----------------------------------------------------------------------
+# NDJSON line codec (the transport seam)
+# ----------------------------------------------------------------------
+
+
+def encode_line(obj: Dict[str, Any]) -> str:
+    """One NDJSON line (no trailing newline; caller appends)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def decode_line(line: str) -> Optional[Dict[str, Any]]:
+    """Parse one NDJSON line; ``None`` for blank or torn lines."""
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    return obj if isinstance(obj, dict) else None
+
+
+# ----------------------------------------------------------------------
+# Checkpoint
+# ----------------------------------------------------------------------
+
+
+class Checkpoint:
+    """Append-only NDJSON record of completed tasks, keyed by task id.
+
+    Each line is ``{"task": <id>, "row": {...}}``.  Loading tolerates a
+    torn final line (the writer died mid-append); appends flush per row
+    so at most one row can ever be torn.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._fh = None
+
+    def load(self) -> Dict[str, Dict[str, Any]]:
+        rows: Dict[str, Dict[str, Any]] = {}
+        if not self.path.exists():
+            return rows
+        with self.path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                obj = decode_line(line)
+                if obj is None or "task" not in obj or "row" not in obj:
+                    continue
+                rows[str(obj["task"])] = obj["row"]
+        return rows
+
+    def append(self, tid: str, row: Dict[str, Any]) -> None:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("a", encoding="utf-8")
+        self._fh.write(encode_line({"task": tid, "row": row}) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+# ----------------------------------------------------------------------
+# Isolated single-task execution (the shard cell)
+# ----------------------------------------------------------------------
+
+
+def _child_main(payload: Dict[str, Any], out_queue) -> None:  # pragma: no cover
+    """Subprocess entry: resolve the worker, run, ship the row, exit."""
+    try:
+        row = resolve_worker(payload)(payload)
+    except BaseException as exc:  # noqa: BLE001 - last-resort isolation
+        from repro.guard.bundle import describe_exception
+
+        row = {
+            "name": payload.get("name", "instance"),
+            "status": "crash",
+            "error": describe_exception(exc),
+            "bundle_path": None,
+        }
+    try:
+        out_queue.put(row)
+    except Exception:  # noqa: BLE001 - parent will report worker_crashed
+        pass
+
+
+def run_task_isolated(
+    payload: Dict[str, Any],
+    timeout_s: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Run one task in its own process with a wall-clock timeout.
+
+    The single-slot building block (``jobs=1`` semantics of the executor,
+    and the remote shard's per-task cell in :mod:`repro.corpus.worker`).
+    """
+    from repro.guard.runner import _timeout_bundle, _worker_crashed_row
+
+    timeout = payload.get("timeout_s") or timeout_s
+    name = payload.get("name", "instance")
+    ctx = multiprocessing.get_context()
+    out_queue = ctx.Queue()
+    proc = ctx.Process(target=_child_main, args=(payload, out_queue), daemon=True)
+    t0 = time.perf_counter()
+    proc.start()
+    deadline = None if timeout is None else t0 + timeout
+    row: Optional[Dict[str, Any]] = None
+    while row is None:
+        try:
+            row = out_queue.get(timeout=0.05)
+        except queue_mod.Empty:
+            if deadline is not None and time.perf_counter() >= deadline:
+                proc.terminate()
+                proc.join()
+                row = {
+                    "name": name,
+                    "status": "timeout",
+                    "time_s": round(time.perf_counter() - t0, 6),
+                    "error": f"exceeded per-instance timeout of {timeout:g}s",
+                    "bundle_path": _timeout_bundle(
+                        payload, payload.get("bundle_dir"), timeout
+                    ),
+                }
+                break
+            if not proc.is_alive():
+                try:
+                    row = out_queue.get(timeout=0.5)
+                except queue_mod.Empty:
+                    row = _worker_crashed_row(
+                        name, proc.exitcode, time.perf_counter() - t0
+                    )
+                break
+    proc.join(timeout=1.0)
+    if proc.is_alive():  # pragma: no cover - defensive cleanup
+        proc.terminate()
+        proc.join()
+    row.setdefault("time_s", round(time.perf_counter() - t0, 6))
+    return row
+
+
+# ----------------------------------------------------------------------
+# The executor
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ExecutorStats:
+    """What one :meth:`ShardExecutor.run` actually did."""
+
+    total: int = 0
+    executed: int = 0
+    from_checkpoint: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    worker_crashes: int = 0
+    wall_s: float = 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "total": self.total,
+            "executed": self.executed,
+            "from_checkpoint": self.from_checkpoint,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "worker_crashes": self.worker_crashes,
+            "wall_s": round(self.wall_s, 6),
+        }
+
+
+@dataclass
+class _Slot:
+    proc: Any
+    queue: Any
+    idx: int
+    t0: float
+    deadline: Optional[float]
+
+
+class ShardExecutor:
+    """Shared-queue scheduler over crash-isolated single-shot processes.
+
+    Parameters
+    ----------
+    jobs:
+        concurrent worker slots (``<= 1`` runs tasks isolated but
+        serially — same rows, no concurrency).
+    timeout_s:
+        default per-task wall-clock timeout; a ``timeout_s`` payload key
+        overrides per task.
+    checkpoint:
+        path of the resumable NDJSON checkpoint; ``None`` disables.
+    retries:
+        how many times a ``worker_crashed`` task is re-queued before its
+        crash row is accepted as final.  Only worker death retries —
+        every other status is an answer about the instance, and retrying
+        a timeout would double the cost of exactly the tasks that are
+        already the most expensive.
+    on_row:
+        callback ``(task_id, row) -> None`` fired once per *final* row
+        (checkpointed rows replay through it on resume too, flagged by
+        ``row["from_checkpoint"]``).
+    """
+
+    def __init__(
+        self,
+        jobs: int = 2,
+        timeout_s: Optional[float] = None,
+        checkpoint: Optional[Union[str, Path]] = None,
+        retries: int = 1,
+        bundle_dir: Optional[str] = None,
+        on_row: Optional[Callable[[str, Dict[str, Any]], None]] = None,
+    ):
+        self.jobs = max(1, int(jobs))
+        self.timeout_s = timeout_s
+        self.checkpoint = Checkpoint(checkpoint) if checkpoint else None
+        self.retries = max(0, int(retries))
+        self.bundle_dir = bundle_dir
+        self.on_row = on_row
+
+    def run(
+        self, payloads: List[Dict[str, Any]]
+    ) -> Tuple[List[Dict[str, Any]], ExecutorStats]:
+        """Run every payload; returns (rows in payload order, stats).
+
+        Rows come back in *payload* order regardless of completion order,
+        so downstream merges are deterministic; the scoreboard's metric
+        merge is associative precisely so this ordering guarantee is a
+        convenience, not a correctness requirement.
+        """
+        t_start = time.perf_counter()
+        stats = ExecutorStats(total=len(payloads))
+        ids = [task_id(p) for p in payloads]
+        if len(set(ids)) != len(ids):
+            dupe = next(i for i in ids if ids.count(i) > 1)
+            raise ValueError(f"duplicate task id {dupe!r} in corpus payloads")
+        if self.bundle_dir:
+            payloads = [dict(p, bundle_dir=self.bundle_dir) for p in payloads]
+
+        rows: List[Optional[Dict[str, Any]]] = [None] * len(payloads)
+        done = self.checkpoint.load() if self.checkpoint else {}
+        pending: deque[int] = deque()
+        attempts: Dict[int, int] = {}
+        for i, tid in enumerate(ids):
+            if tid in done:
+                row = dict(done[tid], from_checkpoint=True)
+                rows[i] = row
+                stats.from_checkpoint += 1
+                if self.on_row:
+                    self.on_row(tid, row)
+            else:
+                pending.append(i)
+                attempts[i] = 0
+
+        active: Dict[int, _Slot] = {}
+        ctx = multiprocessing.get_context()
+        try:
+            while pending or active:
+                # fill free slots from the shared queue (the "steal")
+                while pending and len(active) < self.jobs:
+                    idx = pending.popleft()
+                    payload = dict(payloads[idx], attempt=attempts[idx])
+                    out_queue = ctx.Queue()
+                    proc = ctx.Process(
+                        target=_child_main,
+                        args=(payload, out_queue),
+                        daemon=True,
+                    )
+                    t0 = time.perf_counter()
+                    proc.start()
+                    timeout = payload.get("timeout_s") or self.timeout_s
+                    active[idx] = _Slot(
+                        proc=proc,
+                        queue=out_queue,
+                        idx=idx,
+                        t0=t0,
+                        deadline=None if timeout is None else t0 + timeout,
+                    )
+                progressed = False
+                for idx in list(active):
+                    slot = active[idx]
+                    row = self._poll_slot(slot, payloads[idx])
+                    if row is None:
+                        continue
+                    progressed = True
+                    del active[idx]
+                    if (
+                        row.get("status") == "worker_crashed"
+                        and attempts[idx] < self.retries
+                    ):
+                        attempts[idx] += 1
+                        stats.retries += 1
+                        pending.append(idx)
+                        continue
+                    self._finish(ids[idx], idx, row, rows, stats)
+                if not progressed and active:
+                    time.sleep(0.01)
+        finally:
+            for slot in active.values():  # pragma: no cover - interrupt path
+                slot.proc.terminate()
+                slot.proc.join()
+            if self.checkpoint:
+                self.checkpoint.close()
+        stats.wall_s = time.perf_counter() - t_start
+        return [r for r in rows if r is not None], stats
+
+    def _poll_slot(
+        self, slot: _Slot, payload: Dict[str, Any]
+    ) -> Optional[Dict[str, Any]]:
+        from repro.guard.runner import _timeout_bundle, _worker_crashed_row
+
+        row: Optional[Dict[str, Any]] = None
+        try:
+            row = slot.queue.get_nowait()
+        except queue_mod.Empty:
+            now = time.perf_counter()
+            if slot.deadline is not None and now >= slot.deadline:
+                slot.proc.terminate()
+                slot.proc.join()
+                timeout = slot.deadline - slot.t0
+                row = {
+                    "name": payload.get("name", "instance"),
+                    "status": "timeout",
+                    "time_s": round(now - slot.t0, 6),
+                    "error": f"exceeded per-instance timeout of {timeout:g}s",
+                    "bundle_path": _timeout_bundle(
+                        payload, payload.get("bundle_dir"), timeout
+                    ),
+                }
+            elif not slot.proc.is_alive():
+                try:
+                    row = slot.queue.get(timeout=0.5)
+                except queue_mod.Empty:
+                    row = _worker_crashed_row(
+                        payload.get("name", "instance"),
+                        slot.proc.exitcode,
+                        now - slot.t0,
+                    )
+        if row is not None:
+            row.setdefault("time_s", round(time.perf_counter() - slot.t0, 6))
+            slot.proc.join(timeout=1.0)
+            if slot.proc.is_alive():  # pragma: no cover - defensive cleanup
+                slot.proc.terminate()
+                slot.proc.join()
+        return row
+
+    def _finish(
+        self,
+        tid: str,
+        idx: int,
+        row: Dict[str, Any],
+        rows: List[Optional[Dict[str, Any]]],
+        stats: ExecutorStats,
+    ) -> None:
+        rows[idx] = row
+        stats.executed += 1
+        status = row.get("status")
+        if status == "timeout":
+            stats.timeouts += 1
+        elif status == "worker_crashed":
+            stats.worker_crashes += 1
+        if self.checkpoint:
+            self.checkpoint.append(tid, row)
+        if self.on_row:
+            self.on_row(tid, row)
+
+
+def run_corpus(
+    payloads: List[Dict[str, Any]],
+    jobs: int = 2,
+    timeout_s: Optional[float] = None,
+    checkpoint: Optional[Union[str, Path]] = None,
+    retries: int = 1,
+    bundle_dir: Optional[str] = None,
+    on_row: Optional[Callable[[str, Dict[str, Any]], None]] = None,
+) -> Tuple[List[Dict[str, Any]], ExecutorStats]:
+    """One-call façade over :class:`ShardExecutor` (scripts/corpus_run.py)."""
+    executor = ShardExecutor(
+        jobs=jobs,
+        timeout_s=timeout_s,
+        checkpoint=checkpoint,
+        retries=retries,
+        bundle_dir=bundle_dir,
+        on_row=on_row,
+    )
+    return executor.run(payloads)

@@ -1,0 +1,511 @@
+"""Seeded, size-stratified corpus generation (1k–10k instances).
+
+The Figure-8 table compares Espresso-HF against the exact minimizer on 15
+synthetic burst-mode circuits.  This module scales that evidence: a
+deterministic generator that synthesizes a corpus of instances stratified
+by **shape** (inputs/outputs), **density** (how full the ON-set is),
+**structure** (burst-mode machines vs free-form functions), and —
+deliberately — by **difficulty**: the hazard-complexity line (Ikenmeyer et
+al.; Komarath & Saurabh) says the interesting disagreements live at the
+edges, so the default strata seed the corpus with *unsolvable* instances
+(no hazard-free cover exists, both minimizers must say so) and
+*degenerate* ones (constant functions, single minterms, full-input bursts,
+more outputs than inputs).
+
+Determinism is the load-bearing property: every instance is produced by a
+PRNG seeded from ``sha256(corpus_seed, stratum, index)``, so
+
+* the same ``(seed, count)`` yields byte-identical PLA text and manifest
+  on every run (pinned by a Hypothesis property in
+  ``tests/test_corpus_gen.py``);
+* instance ``i`` of a stratum does not depend on ``count`` — growing a
+  1k corpus to 10k keeps the first 1k instances identical, which is what
+  makes nightly-vs-smoke results comparable;
+* every generated instance respects its stratum's declared bounds
+  (:meth:`StratumSpec.admits`), so per-stratum scoreboard buckets mean
+  what they say.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.corpus.manifest import ManifestEntry, instance_digest
+from repro.hazards.existence import hazard_free_solution_exists
+from repro.hazards.instance import HazardFreeInstance
+from repro.pla.writer import format_pla
+
+
+@dataclass(frozen=True)
+class StratumSpec:
+    """One corpus stratum: a named generator recipe plus admission bounds.
+
+    ``kind`` selects the builder:
+
+    ``"proptest"``
+        compact solvability-biased instances via the PR 4 toolkit
+        (:func:`repro.proptest.strategies.build_instance`);
+    ``"minterm"``
+        fully defined random functions with controlled ON-density
+        (:func:`repro.bm.random_instance`), the density-sweep axis;
+    ``"bm"``
+        synthesized burst-mode controllers
+        (:func:`repro.bm.random_burst_mode_instance`), the realistic-
+        structure axis — note synthesis widens the spec by one-hot state
+        bits, so bounds here describe the *instance*, not the spec;
+    ``"unsolvable"``
+        instances with no hazard-free cover
+        (:func:`repro.proptest.strategies.build_unsolvable_instance`);
+    ``"degenerate"``
+        deterministic extreme shapes (constant-ON, single minterm,
+        full-input bursts, wide outputs, one input).
+
+    ``min/max_inputs``, ``min/max_outputs`` and ``max_transitions`` are
+    *admission bounds*: the generator retries draws (and finally falls
+    back to a bound-respecting constructive builder) until the instance
+    satisfies :meth:`admits`, so the bounds hold on **every** emitted
+    instance, not just on average.
+    """
+
+    name: str
+    kind: str
+    weight: float
+    min_inputs: int
+    max_inputs: int
+    min_outputs: int
+    max_outputs: int
+    max_transitions: int = 8
+    density: float = 0.5
+    #: bm kind only: (spec_inputs, spec_outputs, spec_states) draw ranges
+    bm_shape: Tuple[int, int, int] = (2, 1, 2)
+
+    def admits(self, instance: HazardFreeInstance) -> bool:
+        """Does this instance satisfy the stratum's declared bounds?"""
+        return (
+            self.min_inputs <= instance.n_inputs <= self.max_inputs
+            and self.min_outputs <= instance.n_outputs <= self.max_outputs
+            and 1 <= len(instance.transitions) <= self.max_transitions
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "weight": self.weight,
+            "min_inputs": self.min_inputs,
+            "max_inputs": self.max_inputs,
+            "min_outputs": self.min_outputs,
+            "max_outputs": self.max_outputs,
+            "max_transitions": self.max_transitions,
+        }
+
+
+#: The default stratification.  Shapes are kept small enough that the
+#: exact flow answers within a per-instance budget on most draws — the
+#: differential needs *answers* from both sides to compare, and the
+#: paper's own Figure 8 already covers the huge-instance regime where
+#: exact simply fails.
+DEFAULT_STRATA: Tuple[StratumSpec, ...] = (
+    StratumSpec(
+        name="tiny",
+        kind="proptest",
+        weight=0.22,
+        min_inputs=2,
+        max_inputs=4,
+        min_outputs=1,
+        max_outputs=2,
+        max_transitions=4,
+    ),
+    StratumSpec(
+        name="small-sparse",
+        kind="minterm",
+        weight=0.18,
+        min_inputs=3,
+        max_inputs=4,
+        min_outputs=1,
+        max_outputs=2,
+        max_transitions=5,
+        density=0.35,
+    ),
+    StratumSpec(
+        name="small-dense",
+        kind="minterm",
+        weight=0.18,
+        min_inputs=3,
+        max_inputs=4,
+        min_outputs=1,
+        max_outputs=2,
+        max_transitions=5,
+        density=0.65,
+    ),
+    StratumSpec(
+        name="medium",
+        kind="minterm",
+        weight=0.12,
+        min_inputs=5,
+        max_inputs=6,
+        min_outputs=1,
+        max_outputs=2,
+        max_transitions=6,
+        density=0.5,
+    ),
+    StratumSpec(
+        name="bm",
+        kind="bm",
+        weight=0.12,
+        min_inputs=3,
+        max_inputs=10,
+        min_outputs=2,
+        max_outputs=8,
+        max_transitions=24,
+        bm_shape=(3, 2, 3),
+    ),
+    StratumSpec(
+        name="unsolvable",
+        kind="unsolvable",
+        weight=0.10,
+        min_inputs=2,
+        max_inputs=4,
+        min_outputs=1,
+        max_outputs=2,
+        max_transitions=4,
+    ),
+    StratumSpec(
+        name="degenerate",
+        kind="degenerate",
+        weight=0.08,
+        min_inputs=1,
+        max_inputs=5,
+        min_outputs=1,
+        max_outputs=4,
+        max_transitions=6,
+    ),
+)
+
+
+@dataclass(frozen=True)
+class CorpusInstance:
+    """One generated instance: the PLA text plus its manifest metadata."""
+
+    name: str
+    stratum: str
+    pla_text: str
+    sha256: str
+    n_inputs: int
+    n_outputs: int
+    n_transitions: int
+    solvable: bool
+
+    def manifest_entry(self, path: str = "") -> ManifestEntry:
+        return ManifestEntry(
+            name=self.name,
+            stratum=self.stratum,
+            sha256=self.sha256,
+            n_inputs=self.n_inputs,
+            n_outputs=self.n_outputs,
+            n_transitions=self.n_transitions,
+            solvable=self.solvable,
+            path=path,
+        )
+
+
+def derive_seed(corpus_seed: int, stratum: str, index: int) -> int:
+    """Stable per-instance seed: independent of count and other strata."""
+    token = f"repro.corpus:{corpus_seed}:{stratum}:{index}".encode("ascii")
+    return int.from_bytes(hashlib.sha256(token).digest()[:8], "big")
+
+
+def allocate_counts(
+    count: int, strata: Sequence[StratumSpec]
+) -> Dict[str, int]:
+    """Largest-remainder apportionment of ``count`` across strata weights.
+
+    Deterministic (ties broken by stratum order) and exact: the returned
+    counts sum to ``count``.
+    """
+    total_w = sum(s.weight for s in strata)
+    if total_w <= 0:
+        raise ValueError("strata weights must sum to a positive value")
+    quotas = [(count * s.weight / total_w) for s in strata]
+    base = [int(q) for q in quotas]
+    remainder = count - sum(base)
+    by_frac = sorted(
+        range(len(strata)), key=lambda i: (-(quotas[i] - base[i]), i)
+    )
+    for i in by_frac[:remainder]:
+        base[i] += 1
+    return {s.name: b for s, b in zip(strata, base)}
+
+
+# ----------------------------------------------------------------------
+# Per-kind builders (each must be deterministic in ``rng``/``derived``)
+# ----------------------------------------------------------------------
+
+
+def _build_proptest(spec: StratumSpec, derived: int) -> Optional[HazardFreeInstance]:
+    from repro.proptest.strategies import (
+        InstanceConfig,
+        RandomSource,
+        build_instance,
+    )
+
+    src = RandomSource(random.Random(derived))
+    config = InstanceConfig(
+        min_inputs=spec.min_inputs,
+        max_inputs=spec.max_inputs,
+        min_outputs=spec.min_outputs,
+        max_outputs=spec.max_outputs,
+        min_transitions=1,
+        max_transitions=spec.max_transitions,
+    )
+    for _ in range(6):
+        inst = build_instance(src, config)
+        if inst is not None and spec.admits(inst):
+            return inst
+    return None
+
+
+def _build_minterm(spec: StratumSpec, derived: int) -> Optional[HazardFreeInstance]:
+    from repro.bm.random_spec import random_instance
+
+    rng = random.Random(derived)
+    for _ in range(6):
+        n = rng.randint(spec.min_inputs, spec.max_inputs)
+        m = rng.randint(spec.min_outputs, spec.max_outputs)
+        k = rng.randint(1, spec.max_transitions)
+        inst = random_instance(
+            n,
+            m,
+            n_transitions=k,
+            seed=rng.randrange(1 << 32),
+            density=spec.density,
+        )
+        if spec.admits(inst):
+            return inst
+    return None
+
+
+def _build_bm(spec: StratumSpec, derived: int) -> Optional[HazardFreeInstance]:
+    from repro.bm.random_spec import random_burst_mode_instance
+
+    rng = random.Random(derived)
+    si, so, ss = spec.bm_shape
+    for _ in range(4):
+        inst = random_burst_mode_instance(
+            rng.randint(2, si),
+            rng.randint(1, so),
+            rng.randint(2, ss),
+            seed=rng.randrange(1 << 32),
+            max_burst=2,
+            max_seed_tries=10,
+        )
+        if inst is not None and spec.admits(inst):
+            return inst
+    return None
+
+
+def _build_unsolvable(spec: StratumSpec, derived: int) -> Optional[HazardFreeInstance]:
+    from repro.proptest.strategies import (
+        InstanceConfig,
+        RandomSource,
+        build_unsolvable_instance,
+    )
+
+    src = RandomSource(random.Random(derived))
+    config = InstanceConfig(
+        min_inputs=spec.min_inputs,
+        max_inputs=spec.max_inputs,
+        min_outputs=spec.min_outputs,
+        max_outputs=spec.max_outputs,
+        min_transitions=1,
+        max_transitions=spec.max_transitions,
+    )
+    inst = build_unsolvable_instance(src, config, max_tries=20)
+    if inst is not None and spec.admits(inst):
+        return inst
+    return None
+
+
+def _fallback_unsolvable(spec: StratumSpec) -> HazardFreeInstance:
+    """The Figure-5 style gadget: always unsolvable, 3 inputs, 1 output.
+
+    Used when random draws fail to produce an admissible unsolvable
+    instance, so unsolvable-stratum counts stay exact.
+    """
+    from repro.cubes.cover import Cover
+    from repro.hazards.transitions import Transition
+
+    on = Cover.from_strings(["11-", "-10"])
+    off = Cover.from_strings(["10-", "011"])
+    transitions = [
+        Transition((1, 1, 1), (1, 0, 0)),
+        Transition((0, 1, 0), (1, 1, 0)),
+    ]
+    return HazardFreeInstance(on, off, transitions, name="unsolvable-gadget")
+
+
+def _build_degenerate(spec: StratumSpec, derived: int, index: int) -> HazardFreeInstance:
+    """Deterministic extreme shapes, cycled by index for even coverage."""
+    from repro.bm.random_spec import random_instance
+    from repro.cubes.cube import Cube
+    from repro.cubes.cover import Cover
+    from repro.hazards.transitions import Transition
+
+    rng = random.Random(derived)
+    which = index % 5
+    if which == 0:
+        # constant-ON function: every transition is static-1 everywhere
+        n = rng.randint(max(2, spec.min_inputs), min(4, spec.max_inputs))
+        m = rng.randint(spec.min_outputs, min(2, spec.max_outputs))
+        full = Cube.from_literals([3] * n, (1 << m) - 1, m)
+        on = Cover(n, [full], m)
+        off = Cover(n, [], m)
+        start = tuple(rng.randint(0, 1) for _ in range(n))
+        flips = rng.sample(range(n), rng.randint(1, n))
+        end = tuple(v ^ 1 if i in flips else v for i, v in enumerate(start))
+        return HazardFreeInstance(
+            on, off, [Transition(start, end)], name="degen-constant-on"
+        )
+    if which == 1:
+        # single ON minterm, transition confined to the OFF region
+        n = rng.randint(max(2, spec.min_inputs), min(4, spec.max_inputs))
+        m_point = rng.randrange(1 << n)
+        on = Cover(n, [Cube.from_index(n, m_point)], 1)
+        off = Cover(
+            n,
+            [Cube.from_index(n, p) for p in range(1 << n) if p != m_point],
+            1,
+        )
+        # a 1-bit flip between two points that both differ from the ON
+        # minterm keeps the transition cube OFF-only (static-0)
+        other = m_point ^ ((1 << n) - 1)
+        a = b = other
+        for bit in range(n):
+            a, b = other, other ^ (1 << bit)
+            if a != m_point and b != m_point:
+                break
+        start = tuple((a >> i) & 1 for i in range(n))
+        end = tuple((b >> i) & 1 for i in range(n))
+        return HazardFreeInstance(
+            on, off, [Transition(start, end)], name="degen-single-minterm"
+        )
+    if which == 2:
+        # full-input burst: every input flips in one transition
+        n = rng.randint(max(2, spec.min_inputs), min(4, spec.max_inputs))
+        inst = random_instance(
+            n,
+            1,
+            n_transitions=2,
+            seed=rng.randrange(1 << 32),
+            density=0.5,
+            max_burst=n,
+        )
+        if inst.transitions:
+            return inst
+        return _build_degenerate(spec, derived + 1, 0)
+    if which == 3:
+        # wide: more outputs than inputs
+        n = max(2, spec.min_inputs)
+        m = min(4, spec.max_outputs) if spec.max_outputs >= 3 else spec.max_outputs
+        inst = random_instance(
+            n, m, n_transitions=3, seed=rng.randrange(1 << 32), density=0.5
+        )
+        if inst.transitions:
+            return inst
+        return _build_degenerate(spec, derived + 1, 0)
+    # single input: the smallest possible model
+    if spec.min_inputs <= 1:
+        on = Cover(1, [Cube.from_literals([3])], 1)
+        off = Cover(1, [], 1)
+        return HazardFreeInstance(
+            on, off, [Transition((0,), (1,))], name="degen-one-input"
+        )
+    return _build_degenerate(spec, derived + 1, 0)
+
+
+def _fallback_generic(spec: StratumSpec, derived: int) -> HazardFreeInstance:
+    """Constructive bound-respecting fallback: constant-ON at min shape."""
+    from repro.cubes.cube import Cube
+    from repro.cubes.cover import Cover
+    from repro.hazards.transitions import Transition
+
+    rng = random.Random(derived)
+    n = max(2, spec.min_inputs)
+    m = spec.min_outputs
+    full = Cube.from_literals([3] * n, (1 << m) - 1, m)
+    on = Cover(n, [full], m)
+    off = Cover(n, [], m)
+    start = tuple(rng.randint(0, 1) for _ in range(n))
+    end = tuple(v ^ 1 if i == 0 else v for i, v in enumerate(start))
+    return HazardFreeInstance(on, off, [Transition(start, end)], name="fallback")
+
+
+_BUILDERS = {
+    "proptest": _build_proptest,
+    "minterm": _build_minterm,
+    "bm": _build_bm,
+    "unsolvable": _build_unsolvable,
+}
+
+
+def build_stratum_instance(
+    spec: StratumSpec, corpus_seed: int, index: int
+) -> HazardFreeInstance:
+    """Instance ``index`` of a stratum — total (never fails), deterministic."""
+    derived = derive_seed(corpus_seed, spec.name, index)
+    if spec.kind == "degenerate":
+        return _build_degenerate(spec, derived, index)
+    builder = _BUILDERS.get(spec.kind)
+    if builder is None:
+        raise ValueError(f"unknown stratum kind {spec.kind!r}")
+    inst = builder(spec, derived)
+    if inst is not None:
+        return inst
+    if spec.kind == "unsolvable":
+        return _fallback_unsolvable(spec)
+    return _fallback_generic(spec, derived)
+
+
+def generate_corpus(
+    seed: int,
+    count: int,
+    strata: Sequence[StratumSpec] = DEFAULT_STRATA,
+) -> List[CorpusInstance]:
+    """The corpus: ``count`` instances apportioned across ``strata``.
+
+    Deterministic in ``(seed, count, strata)``; instances are ordered by
+    stratum (declaration order) then index, and named
+    ``<stratum>-<index>-<hash8>`` so names are self-describing and
+    collision-free.
+    """
+    counts = allocate_counts(count, strata)
+    out: List[CorpusInstance] = []
+    for spec in strata:
+        for i in range(counts[spec.name]):
+            inst = build_stratum_instance(spec, seed, i)
+            solvable = hazard_free_solution_exists(inst)
+            pla_text = format_pla(inst)
+            digest = instance_digest(pla_text)
+            name = f"{spec.name}-{i:05d}-{digest[:8]}"
+            out.append(
+                CorpusInstance(
+                    name=name,
+                    stratum=spec.name,
+                    pla_text=pla_text,
+                    sha256=digest,
+                    n_inputs=inst.n_inputs,
+                    n_outputs=inst.n_outputs,
+                    n_transitions=len(inst.transitions),
+                    solvable=solvable,
+                )
+            )
+    return out
+
+
+def strata_by_name(
+    strata: Sequence[StratumSpec] = DEFAULT_STRATA,
+) -> Dict[str, StratumSpec]:
+    return {s.name: s for s in strata}

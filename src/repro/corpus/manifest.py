@@ -1,0 +1,228 @@
+"""Frozen-corpus manifest: canonical JSON, content hashes, round-trip I/O.
+
+A corpus is *defined* by ``(seed, count, strata)`` — the generator is
+deterministic — but a frozen corpus on disk is *trusted* through its
+manifest: one canonical JSON document listing every instance with its
+SHA-256 content hash.  Two properties matter and are pinned by
+``tests/test_corpus_gen.py``:
+
+* **byte-identity** — :func:`manifest_json` serializes with sorted keys,
+  fixed separators, and no floats, so the same ``(seed, count, strata)``
+  yields the same manifest bytes on every run and platform;
+* **tamper evidence** — :func:`load_frozen_corpus` re-hashes every PLA
+  file against the manifest and raises :class:`CorpusIntegrityError` on
+  any mismatch, so a stale or hand-edited corpus cannot silently skew a
+  differential scoreboard.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+#: bump when the manifest schema changes shape
+MANIFEST_VERSION = 1
+
+MANIFEST_SCHEMA = "repro.corpus/manifest"
+
+#: manifest filename inside a frozen corpus directory
+MANIFEST_NAME = "manifest.json"
+
+#: subdirectory holding the PLA files
+INSTANCES_DIR = "instances"
+
+
+class CorpusIntegrityError(ValueError):
+    """A frozen corpus does not match its manifest (hash/count mismatch)."""
+
+
+def instance_digest(pla_text: str) -> str:
+    """SHA-256 content hash of one instance's PLA text."""
+    return hashlib.sha256(pla_text.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class ManifestEntry:
+    """One corpus instance as recorded in the manifest (no PLA text)."""
+
+    name: str
+    stratum: str
+    sha256: str
+    n_inputs: int
+    n_outputs: int
+    n_transitions: int
+    solvable: bool
+    #: path of the PLA file relative to the corpus directory; empty for
+    #: in-memory corpora that were never frozen
+    path: str = ""
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "stratum": self.stratum,
+            "sha256": self.sha256,
+            "n_inputs": self.n_inputs,
+            "n_outputs": self.n_outputs,
+            "n_transitions": self.n_transitions,
+            "solvable": self.solvable,
+            "path": self.path,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ManifestEntry":
+        return cls(
+            name=str(data["name"]),
+            stratum=str(data["stratum"]),
+            sha256=str(data["sha256"]),
+            n_inputs=int(data["n_inputs"]),
+            n_outputs=int(data["n_outputs"]),
+            n_transitions=int(data["n_transitions"]),
+            solvable=bool(data["solvable"]),
+            path=str(data.get("path", "")),
+        )
+
+
+@dataclass(frozen=True)
+class CorpusManifest:
+    """The whole manifest: generation parameters plus one entry per instance."""
+
+    seed: int
+    count: int
+    entries: List[ManifestEntry] = field(default_factory=list)
+    strata: Dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": MANIFEST_SCHEMA,
+            "version": MANIFEST_VERSION,
+            "seed": self.seed,
+            "count": self.count,
+            "strata": dict(sorted(self.strata.items())),
+            "instances": [e.as_dict() for e in self.entries],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CorpusManifest":
+        if data.get("schema") != MANIFEST_SCHEMA:
+            raise CorpusIntegrityError(
+                f"not a corpus manifest (schema={data.get('schema')!r})"
+            )
+        if int(data.get("version", -1)) != MANIFEST_VERSION:
+            raise CorpusIntegrityError(
+                f"unsupported manifest version {data.get('version')!r} "
+                f"(this build reads version {MANIFEST_VERSION})"
+            )
+        return cls(
+            seed=int(data["seed"]),
+            count=int(data["count"]),
+            entries=[ManifestEntry.from_dict(e) for e in data["instances"]],
+            strata={str(k): int(v) for k, v in data.get("strata", {}).items()},
+        )
+
+    def stratum_counts(self) -> Dict[str, int]:
+        """Per-stratum instance counts recomputed from the entries."""
+        counts: Dict[str, int] = {}
+        for e in self.entries:
+            counts[e.stratum] = counts.get(e.stratum, 0) + 1
+        return counts
+
+
+def manifest_json(manifest: CorpusManifest) -> str:
+    """Canonical (byte-reproducible) JSON serialization of a manifest."""
+    return (
+        json.dumps(
+            manifest.as_dict(),
+            sort_keys=True,
+            separators=(",", ":"),
+            ensure_ascii=True,
+        )
+        + "\n"
+    )
+
+
+def parse_manifest(text: str) -> CorpusManifest:
+    return CorpusManifest.from_dict(json.loads(text))
+
+
+def write_frozen_corpus(
+    corpus_dir: Union[str, Path],
+    instances: List["CorpusInstance"],  # noqa: F821 - generator.CorpusInstance
+    seed: int,
+) -> CorpusManifest:
+    """Freeze generated instances to ``corpus_dir``: PLAs + manifest.
+
+    Layout::
+
+        <corpus_dir>/manifest.json
+        <corpus_dir>/instances/<name>.pla
+    """
+    corpus_dir = Path(corpus_dir)
+    inst_dir = corpus_dir / INSTANCES_DIR
+    inst_dir.mkdir(parents=True, exist_ok=True)
+    entries: List[ManifestEntry] = []
+    strata: Dict[str, int] = {}
+    for ci in instances:
+        rel = f"{INSTANCES_DIR}/{ci.name}.pla"
+        (corpus_dir / rel).write_text(ci.pla_text, encoding="utf-8")
+        entries.append(ci.manifest_entry(path=rel))
+        strata[ci.stratum] = strata.get(ci.stratum, 0) + 1
+    manifest = CorpusManifest(
+        seed=seed, count=len(entries), entries=entries, strata=strata
+    )
+    (corpus_dir / MANIFEST_NAME).write_text(
+        manifest_json(manifest), encoding="utf-8"
+    )
+    return manifest
+
+
+def load_frozen_corpus(
+    corpus_dir: Union[str, Path],
+    verify_hashes: bool = True,
+    limit: Optional[int] = None,
+) -> List["CorpusInstance"]:
+    """Load a frozen corpus back into memory, verifying content hashes.
+
+    Returns :class:`repro.corpus.generator.CorpusInstance` values in
+    manifest order (the generator's order, so shard numbering is stable).
+    ``limit`` truncates — handy for smoke slices over a large frozen
+    corpus.
+    """
+    from repro.corpus.generator import CorpusInstance
+
+    corpus_dir = Path(corpus_dir)
+    manifest = parse_manifest(
+        (corpus_dir / MANIFEST_NAME).read_text(encoding="utf-8")
+    )
+    if len(manifest.entries) != manifest.count:
+        raise CorpusIntegrityError(
+            f"manifest count {manifest.count} != {len(manifest.entries)} entries"
+        )
+    out: List[CorpusInstance] = []
+    for entry in manifest.entries[: limit if limit is not None else None]:
+        if not entry.path:
+            raise CorpusIntegrityError(
+                f"{entry.name}: manifest entry has no path (not a frozen corpus)"
+            )
+        pla_text = (corpus_dir / entry.path).read_text(encoding="utf-8")
+        if verify_hashes and instance_digest(pla_text) != entry.sha256:
+            raise CorpusIntegrityError(
+                f"{entry.name}: PLA content hash does not match the manifest "
+                "(corpus and manifest are out of sync; re-freeze with "
+                "scripts/freeze_corpus.py)"
+            )
+        out.append(
+            CorpusInstance(
+                name=entry.name,
+                stratum=entry.stratum,
+                pla_text=pla_text,
+                sha256=entry.sha256,
+                n_inputs=entry.n_inputs,
+                n_outputs=entry.n_outputs,
+                n_transitions=entry.n_transitions,
+                solvable=entry.solvable,
+            )
+        )
+    return out

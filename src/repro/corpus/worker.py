@@ -1,0 +1,102 @@
+"""Remote shard worker: NDJSON tasks on stdin → NDJSON rows on stdout.
+
+The thin transport seam of the shard executor.  A remote machine runs::
+
+    python -m repro.corpus.worker [--timeout S] [--bundle-dir DIR]
+
+and the driver feeds it task payload lines (:func:`repro.corpus.executor.
+encode_line` of the same payload dicts the local executor uses) over any
+byte pipe — ssh, a socket, a container exec.  Each task runs in its own
+crash-isolated subprocess with the same timeout/crash semantics as a
+local slot, so a remote shard and a local slot are indistinguishable to
+the scoreboard.  One row line comes back per task line, keyed by task id;
+EOF (or a ``{"op": "shutdown"}`` line) ends the worker with exit 0.
+
+Torn or non-JSON input lines are answered with an ``error`` row rather
+than killing the worker — a flaky pipe should cost one task, not the
+shard.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.corpus.executor import (
+    decode_line,
+    encode_line,
+    run_task_isolated,
+    task_id,
+)
+
+
+def serve_stdio(
+    stdin=None,
+    stdout=None,
+    timeout_s=None,
+    bundle_dir=None,
+) -> int:
+    """Run the worker loop; returns the process exit code (always 0)."""
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    for line in stdin:
+        if not line.strip():
+            continue
+        payload = decode_line(line)
+        if payload is None:
+            stdout.write(
+                encode_line(
+                    {
+                        "task": None,
+                        "row": {
+                            "status": "malformed",
+                            "error": "undecodable task line",
+                        },
+                    }
+                )
+                + "\n"
+            )
+            stdout.flush()
+            continue
+        if payload.get("op") == "shutdown":
+            break
+        if bundle_dir and "bundle_dir" not in payload:
+            payload = dict(payload, bundle_dir=bundle_dir)
+        try:
+            tid = task_id(payload)
+        except ValueError as exc:
+            stdout.write(
+                encode_line(
+                    {"task": None, "row": {"status": "malformed", "error": str(exc)}}
+                )
+                + "\n"
+            )
+            stdout.flush()
+            continue
+        row = run_task_isolated(payload, timeout_s=timeout_s)
+        stdout.write(encode_line({"task": tid, "row": row}) + "\n")
+        stdout.flush()
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="corpus shard worker (NDJSON stdin/stdout)"
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="default per-task wall-clock timeout in seconds",
+    )
+    parser.add_argument(
+        "--bundle-dir",
+        default=None,
+        help="directory for repro bundles written by tasks",
+    )
+    args = parser.parse_args(argv)
+    return serve_stdio(timeout_s=args.timeout, bundle_dir=args.bundle_dir)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised as a subprocess
+    sys.exit(main())

@@ -19,6 +19,7 @@ from repro.exact.minimizer import (
     ExactHFResult,
     ExactBudget,
     ExactFailure,
+    NoSolutionError,
 )
 
 __all__ = [
@@ -28,4 +29,5 @@ __all__ = [
     "ExactHFResult",
     "ExactBudget",
     "ExactFailure",
+    "NoSolutionError",
 ]

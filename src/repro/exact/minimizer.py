@@ -32,7 +32,16 @@ class ExactFailure(RuntimeError):
 
 class NoSolutionError(RuntimeError):
     """No hazard-free cover exists: some required cube is covered by no
-    dhf-prime implicant."""
+    dhf-prime implicant.
+
+    .. deprecated::
+        :func:`exact_hazard_free_minimize` no longer raises this — it
+        returns an :class:`ExactHFResult` with ``status="no_solution"``
+        instead, so batch drivers (the corpus differential in
+        :mod:`repro.corpus.differential`) can *score* unsolvable
+        instances rather than catch them.  The class stays importable
+        for old ``except`` clauses.
+    """
 
 
 @dataclass
@@ -48,17 +57,33 @@ class ExactBudget:
 
 @dataclass
 class ExactHFResult:
-    """Outcome of an exact run."""
+    """Outcome of an exact run.
 
-    cover: Cover
+    ``status`` distinguishes the two *answers* the exact flow can give:
+
+    ``"ok"``
+        a minimum-cardinality hazard-free cover was found (``cover`` set);
+    ``"no_solution"``
+        Theorem 4.1 failed — some required cube is covered by no dhf-prime
+        implicant, so no hazard-free cover exists (``cover`` is ``None``
+        and ``detail`` names the offending required cube).
+
+    Budget exhaustion is *not* a status: a stage blowing its budget still
+    raises :class:`ExactFailure`, because "too expensive to answer" is a
+    property of the budget, not of the instance.
+    """
+
+    cover: Optional[Cover]
     num_primes: int
     num_dhf_primes: int
     runtime_s: float
     phase_seconds: dict = field(default_factory=dict)
+    status: str = "ok"
+    detail: str = ""
 
     @property
     def num_cubes(self) -> int:
-        return len(self.cover)
+        return 0 if self.cover is None else len(self.cover)
 
 
 def exact_hazard_free_minimize(
@@ -68,10 +93,12 @@ def exact_hazard_free_minimize(
 ) -> ExactHFResult:
     """Minimum-cardinality hazard-free cover via the exact flow.
 
-    Raises :class:`ExactFailure` when a stage budget is exceeded and
-    :class:`NoSolutionError` when the instance has no hazard-free cover.
-    With ``heuristic_cover`` the covering stage runs MINCOV's greedy mode
-    (then the result is not guaranteed minimum).
+    Raises :class:`ExactFailure` when a stage budget is exceeded; an
+    unsolvable instance is an *answer*, not a failure — the result comes
+    back with ``status="no_solution"`` and ``cover=None`` (the CLI maps
+    that to exit code 2, see docs/FAILURES.md).  With ``heuristic_cover``
+    the covering stage runs MINCOV's greedy mode (then the result is not
+    guaranteed minimum).
     """
     budget = budget or ExactBudget()
     phases = {}
@@ -108,8 +135,15 @@ def exact_hazard_free_minimize(
             if p.has_output(q.output) and p.contains_input(q.cube)
         ]
         if not cols:
-            raise NoSolutionError(
-                f"required cube {q} covered by no dhf-prime implicant"
+            phases["covering"] = time.perf_counter() - t0
+            return ExactHFResult(
+                cover=None,
+                num_primes=len(primes),
+                num_dhf_primes=len(dhf_primes),
+                runtime_s=time.perf_counter() - t_start,
+                phase_seconds=phases,
+                status="no_solution",
+                detail=f"required cube {q} covered by no dhf-prime implicant",
             )
         rows.append(cols)
     try:

@@ -59,7 +59,6 @@ def check_instance(inst, budget=None, do_exact=True, do_sim=True) -> str:
     the caller (:func:`run_fuzz`) captures that as a repro bundle.
     """
     from repro.exact import ExactBudget, ExactFailure, exact_hazard_free_minimize
-    from repro.exact.minimizer import NoSolutionError as ExactNoSolution
     from repro.guard.errors import NoSolutionError
     from repro.hazards import hazard_free_solution_exists
     from repro.hazards.verify import verify_hazard_free_cover
@@ -81,12 +80,13 @@ def check_instance(inst, budget=None, do_exact=True, do_sim=True) -> str:
         assert not exists, f"{inst.name}: HF refused a solvable instance"
         if do_exact:
             try:
-                exact_hazard_free_minimize(inst, budget=budget)
-                raise AssertionError(
+                exact = exact_hazard_free_minimize(inst, budget=budget)
+            except ExactFailure:
+                pass
+            else:
+                assert exact.status == "no_solution", (
                     f"{inst.name}: exact solved an unsolvable instance"
                 )
-            except (ExactNoSolution, ExactFailure):
-                pass
         return "unsolvable"
     assert exists, f"{inst.name}: HF solved but Theorem 4.1 says unsolvable"
     violations = verify_hazard_free_cover(inst, hf.cover, collect_all=True)
@@ -95,6 +95,10 @@ def check_instance(inst, budget=None, do_exact=True, do_sim=True) -> str:
     if do_exact:
         try:
             exact = exact_hazard_free_minimize(inst, budget=budget)
+            assert exact.status == "ok", (
+                f"{inst.name}: exact says {exact.status} on an instance "
+                "HF solved"
+            )
             assert exact.num_cubes <= hf.num_cubes, (
                 f"{inst.name}: exact {exact.num_cubes} > HF {hf.num_cubes}"
             )

@@ -33,10 +33,12 @@ from repro.obs.export import (
 )
 from repro.obs.hook import ObsHook
 from repro.obs.metrics import (
+    TIME_BUCKETS_S,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    histogram_quantile,
     merge_snapshots,
     monotone_counters,
     publish_result_metrics,
@@ -50,6 +52,7 @@ from repro.obs.regress import (
 from repro.obs.span import Span, Tracer, activate, current_tracer
 
 __all__ = [
+    "TIME_BUCKETS_S",
     "Span",
     "Tracer",
     "activate",
@@ -59,6 +62,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "histogram_quantile",
     "merge_snapshots",
     "monotone_counters",
     "publish_result_metrics",

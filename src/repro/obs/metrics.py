@@ -33,6 +33,7 @@ time — into a registry under that convention.
 from __future__ import annotations
 
 import bisect
+import math
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 #: default histogram boundaries for wall-time observations, in seconds
@@ -222,6 +223,40 @@ def merge_snapshots(
                 "count": da["count"] + db["count"],
             }
     return merged
+
+
+def histogram_quantile(metric: Dict[str, Any], q: float) -> Optional[float]:
+    """Quantile estimate from a histogram *snapshot* (upper-edge rule).
+
+    Returns the upper boundary of the bucket containing the ``q``-th
+    quantile observation — a guaranteed upper bound on the true quantile
+    given the bucketing, which is the conservative direction for latency
+    reporting.  Observations in the overflow bucket have no upper edge, so
+    a quantile landing there returns ``inf``; an empty histogram returns
+    ``None``.  Because :func:`merge_snapshots` adds bucket counts, the
+    quantile of a merged snapshot equals the quantile over the union of
+    observations (at bucket resolution) no matter how many shards
+    contributed or in what order — that is what lets the corpus
+    scoreboard report per-stratum p50/p99 from out-of-order shard merges.
+    """
+    if metric.get("kind") != "histogram":
+        raise TypeError(f"not a histogram snapshot: {metric.get('kind')!r}")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    total = int(metric["count"])
+    if total == 0:
+        return None
+    # smallest k observations covering the q-quantile (nearest-rank rule)
+    target = max(1, min(total, math.ceil(q * total)))
+    boundaries = list(metric["boundaries"])
+    cumulative = 0
+    for i, c in enumerate(metric["counts"]):
+        cumulative += int(c)
+        if cumulative >= target:
+            if i < len(boundaries):
+                return float(boundaries[i])
+            return float("inf")
+    return float("inf")  # pragma: no cover - counts always sum to total
 
 
 def _copy_metric(metric: Dict[str, Any]) -> Dict[str, Any]:

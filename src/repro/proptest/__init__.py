@@ -64,6 +64,7 @@ from repro.proptest.strategies import (
     InstanceConfig,
     RandomSource,
     build_instance,
+    build_unsolvable_instance,
     covers,
     cubes,
     instances,
@@ -71,6 +72,7 @@ from repro.proptest.strategies import (
     seeded_instance,
     solvable_instances,
     transitions,
+    unsolvable_instances,
 )
 
 __all__ = [
@@ -86,6 +88,7 @@ __all__ = [
     "MetamorphicTransform",
     "RandomSource",
     "build_instance",
+    "build_unsolvable_instance",
     "covers",
     "cubes",
     "fault_decorator",
@@ -101,4 +104,5 @@ __all__ = [
     "transforms_for",
     "transition_subset",
     "transitions",
+    "unsolvable_instances",
 ]

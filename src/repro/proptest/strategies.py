@@ -32,13 +32,13 @@ dump.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence
 
 from repro.cubes.cube import Cube
 from repro.cubes.cover import Cover
 from repro.espresso import complement
-from repro.hazards.existence import existence_report
+from repro.hazards.existence import existence_report, hazard_free_solution_exists
 from repro.hazards.instance import HazardFreeInstance
 from repro.hazards.transitions import Transition, function_hazard_free
 
@@ -307,6 +307,29 @@ def build_instance(
     return instance
 
 
+def build_unsolvable_instance(
+    src: DrawSource,
+    config: InstanceConfig = DEFAULT_CONFIG,
+    name: str = "unsolvable",
+    max_tries: int = 12,
+) -> Optional[HazardFreeInstance]:
+    """Draw an instance with **no** hazard-free cover, or ``None``.
+
+    The complement of :func:`build_instance`'s solvable bias: the Theorem
+    4.1 repair is turned off and draws are rejected until one *fails* the
+    existence check.  This is the corpus generator's source of deliberate
+    hard-negative cases (the regime where a heuristic and an exact
+    minimizer can disagree about solvability itself), so the differential
+    driver can assert that both sides answer ``no_solution``.
+    """
+    cfg = replace(config, solvable_bias=False)
+    for _ in range(max_tries):
+        inst = build_instance(src, cfg, name=name)
+        if inst is not None and not hazard_free_solution_exists(inst):
+            return inst
+    return None
+
+
 def seeded_instance(
     seed: int, config: InstanceConfig = FUZZ_CONFIG, name: str = "fuzz"
 ) -> Optional[HazardFreeInstance]:
@@ -385,6 +408,13 @@ if HAVE_HYPOTHESIS:
         """Instances guaranteed to admit a hazard-free cover."""
         return instances(config=config, solvable=True)
 
+    @st.composite
+    def unsolvable_instances(draw, config: InstanceConfig = DEFAULT_CONFIG):
+        """Instances guaranteed to admit **no** hazard-free cover."""
+        inst = build_unsolvable_instance(HypothesisSource(draw), config)
+        assume(inst is not None)
+        return inst
+
 else:  # pragma: no cover - exercised only without hypothesis
 
     def _needs_hypothesis(*_args, **_kwargs):
@@ -395,4 +425,4 @@ else:  # pragma: no cover - exercised only without hypothesis
         )
 
     literals = cubes = covers = transitions = _needs_hypothesis
-    instances = solvable_instances = _needs_hypothesis
+    instances = solvable_instances = unsolvable_instances = _needs_hypothesis

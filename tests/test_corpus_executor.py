@@ -1,0 +1,214 @@
+"""Shard executor: merge associativity, crash isolation, checkpoint resume.
+
+ISSUE acceptance points pinned here:
+
+* merging per-shard metric snapshots out of order gives the same
+  aggregate as a serial run (associativity + commutativity end-to-end);
+* a worker SIGKILLed mid-instance neither hangs the run nor loses the
+  row — the crash is attributed to that instance and retried;
+* resuming from a checkpoint executes exactly the not-yet-done instances
+  (asserted via :class:`repro.corpus.ExecutorStats`).
+"""
+
+import random
+
+import pytest
+
+from repro.corpus import (
+    differential_payload,
+    generate_corpus,
+    merge_row_metrics,
+    run_corpus,
+    run_differential_payload,
+)
+from repro.corpus.executor import (
+    Checkpoint,
+    ShardExecutor,
+    decode_line,
+    encode_line,
+    resolve_worker,
+    run_task_isolated,
+    task_id,
+)
+from repro.obs import merge_snapshots
+
+
+def _payloads(seed=21, count=8, **kw):
+    return [
+        differential_payload(
+            i.name,
+            i.pla_text,
+            stratum=i.stratum,
+            solvable=i.solvable,
+            **kw,
+        )
+        for i in generate_corpus(seed=seed, count=count)
+    ]
+
+
+class TestCodecAndDispatch:
+    def test_line_codec_round_trips(self):
+        payload = {"name": "x", "worker": "differential", "n": 3}
+        assert decode_line(encode_line(payload)) == payload
+
+    def test_decode_tolerates_torn_and_blank_lines(self):
+        assert decode_line("") is None
+        assert decode_line('{"name": "x", "tru') is None
+        assert decode_line("[1,2,3]") is None
+
+    def test_task_id_prefers_explicit_then_name(self):
+        assert task_id({"task_id": "t9", "name": "n"}) == "t9"
+        assert task_id({"name": "n"}) == "n"
+        with pytest.raises(ValueError):
+            task_id({})
+
+    def test_unknown_worker_rejected(self):
+        with pytest.raises(ValueError, match="unknown worker"):
+            resolve_worker({"worker": "nope"})
+
+    def test_duplicate_task_ids_rejected(self):
+        p = _payloads(count=4)[0]
+        with pytest.raises(ValueError, match="duplicate task id"):
+            ShardExecutor(jobs=1).run([p, dict(p)])
+
+
+class TestAssociativeMerge:
+    def test_out_of_order_merge_equals_serial(self):
+        # serial ground truth: run every payload in-process, in order
+        payloads = _payloads(count=10)
+        serial_rows = [run_differential_payload(dict(p)) for p in payloads]
+        serial = merge_row_metrics(serial_rows)
+
+        # sharded: same payloads through 3 slots, then merge the rows in
+        # a shuffled order — every deterministic aggregate (counters:
+        # verdicts, instance counts, cover-cube totals) must be identical;
+        # wall-time histograms legitimately differ between executions, so
+        # only their observation counts are compared
+        rows, stats = run_corpus(payloads, jobs=3, timeout_s=120)
+        assert stats.executed == len(payloads)
+        shuffled = list(rows)
+        random.Random(42).shuffle(shuffled)
+        sharded = merge_row_metrics(shuffled)
+        assert set(sharded) == set(serial)
+        for name, metric in serial.items():
+            if metric["kind"] == "counter":
+                assert sharded[name] == metric, name
+            else:
+                assert sharded[name]["count"] == metric["count"], name
+
+    def test_shuffled_merge_of_identical_rows_is_exact(self):
+        # same row set, different fold order: byte-identical aggregate,
+        # histograms included — the property the out-of-order shard
+        # collection actually relies on
+        payloads = _payloads(count=8)
+        rows, _ = run_corpus(payloads, jobs=3, timeout_s=120)
+        in_order = merge_row_metrics(rows)
+        shuffled = list(rows)
+        random.Random(7).shuffle(shuffled)
+        assert merge_row_metrics(shuffled) == in_order
+
+    def test_pairwise_merge_is_associative(self):
+        rows = [
+            run_differential_payload(dict(p)) for p in _payloads(count=6)
+        ]
+        snaps = [r["metrics"] for r in rows]
+        left = snaps[0]
+        for s in snaps[1:]:
+            left = merge_snapshots(left, s)
+        right = snaps[-1]
+        for s in reversed(snaps[:-1]):
+            right = merge_snapshots(s, right)
+        assert left == right
+
+    def test_rows_return_in_payload_order(self):
+        payloads = _payloads(count=8)
+        rows, _ = run_corpus(payloads, jobs=4, timeout_s=120)
+        assert [r["name"] for r in rows] == [p["name"] for p in payloads]
+
+
+class TestCrashIsolation:
+    def test_sigkilled_worker_neither_hangs_nor_loses_rows(self):
+        payloads = _payloads(count=5, timeout_s=120)
+        payloads[2]["inject"] = {"kill": True}
+        rows, stats = run_corpus(payloads, jobs=2, retries=0)
+        assert len(rows) == 5
+        assert rows[2]["status"] == "worker_crashed"
+        assert rows[2]["signal"] == "SIGKILL"
+        assert stats.worker_crashes == 1
+        for i, row in enumerate(rows):
+            if i != 2:
+                assert row.get("verdict") is not None, row
+
+    def test_transient_crash_retries_to_success(self):
+        payloads = _payloads(count=3, timeout_s=120)
+        # dies on attempt 0, succeeds on the retry
+        payloads[1]["inject"] = {"kill_attempts": [0]}
+        rows, stats = run_corpus(payloads, jobs=2, retries=1)
+        assert rows[1].get("verdict") is not None
+        assert rows[1].get("status") != "worker_crashed"
+        assert stats.retries == 1
+        assert stats.worker_crashes == 0
+
+    def test_timeout_terminates_and_reports(self):
+        payloads = _payloads(count=3)
+        payloads[0]["inject"] = {"sleep_s": 30.0}
+        payloads[0]["timeout_s"] = 0.5
+        rows, stats = run_corpus(payloads, jobs=2, timeout_s=120)
+        assert rows[0]["status"] == "timeout"
+        assert stats.timeouts == 1
+        assert rows[1].get("verdict") is not None
+        assert rows[2].get("verdict") is not None
+
+    def test_run_task_isolated_matches_in_process_row(self):
+        payload = _payloads(count=1)[0]
+        isolated = run_task_isolated(dict(payload), timeout_s=120)
+        direct = run_differential_payload(dict(payload))
+        assert isolated["verdict"] == direct["verdict"]
+        assert isolated["hf_cubes"] == direct["hf_cubes"]
+        assert isolated["exact_cubes"] == direct["exact_cubes"]
+
+
+class TestCheckpointResume:
+    def test_resume_executes_exactly_the_remaining(self, tmp_path):
+        payloads = _payloads(count=7, timeout_s=120)
+        ckpt = tmp_path / "run.ck.ndjson"
+        rows1, s1 = run_corpus(payloads[:4], jobs=2, checkpoint=ckpt)
+        assert s1.executed == 4 and s1.from_checkpoint == 0
+
+        rows2, s2 = run_corpus(payloads, jobs=2, checkpoint=ckpt)
+        assert s2.executed == 3
+        assert s2.from_checkpoint == 4
+        assert len(rows2) == 7
+        # checkpointed rows replay with provenance and the same verdicts
+        for old, new in zip(rows1, rows2[:4]):
+            assert new["from_checkpoint"] is True
+            assert new["verdict"] == old["verdict"]
+
+    def test_fully_checkpointed_run_executes_nothing(self, tmp_path):
+        payloads = _payloads(count=4, timeout_s=120)
+        ckpt = tmp_path / "run.ck.ndjson"
+        _, s1 = run_corpus(payloads, jobs=2, checkpoint=ckpt)
+        rows2, s2 = run_corpus(payloads, jobs=2, checkpoint=ckpt)
+        assert s1.executed == 4
+        assert s2.executed == 0 and s2.from_checkpoint == 4
+        assert all(r["from_checkpoint"] for r in rows2)
+
+    def test_torn_final_line_is_ignored(self, tmp_path):
+        path = tmp_path / "torn.ndjson"
+        ck = Checkpoint(path)
+        ck.append("a", {"verdict": "exact_match"})
+        ck.append("b", {"verdict": "exact_match"})
+        ck.close()
+        with path.open("a") as fh:
+            fh.write('{"task": "c", "row": {"verdi')  # writer died here
+        loaded = Checkpoint(path).load()
+        assert set(loaded) == {"a", "b"}
+
+    def test_checkpoint_rows_feed_the_metric_merge(self, tmp_path):
+        # a resumed run's scoreboard covers checkpointed rows too
+        payloads = _payloads(count=5, timeout_s=120)
+        ckpt = tmp_path / "run.ck.ndjson"
+        run_corpus(payloads[:3], jobs=2, checkpoint=ckpt)
+        rows, _ = run_corpus(payloads, jobs=2, checkpoint=ckpt)
+        merged = merge_row_metrics(rows)
+        assert merged["corpus.instances"]["value"] == 5
