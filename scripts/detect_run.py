@@ -1,0 +1,375 @@
+#!/usr/bin/env python
+"""Detection & transformation scoreboard: Espresso-HF vs ``u(f)``.
+
+For every Figure 8 benchmark (and optionally a stratified corpus
+sample) this driver minimizes with Espresso-HF, builds the
+transition-scoped ``u(f)`` rewrite, runs the gate-level detector over
+both realizations, and prints the size/depth/latency comparison the
+ROADMAP's "check my circuit" workload calls for.
+
+Usage::
+
+    python scripts/detect_run.py                          # 15 circuits
+    python scripts/detect_run.py --corpus-count 200       # + corpus strata
+    python scripts/detect_run.py --agreement 50           # CI gate:
+        # exhaustive vs sampled detection must agree on 50 netlists
+    python scripts/detect_run.py --freeze-golden data/golden_detect.json
+    python scripts/detect_run.py --json out/detect.json
+
+Exit codes:
+
+* 0 — all realizations verified hazard-free, agreement gate clean
+* 6 — internal driver error
+* 7 — an **unexplained** disagreement: a verified cover or a ``u(f)``
+  network flagged by the detector, or sampled/exhaustive divergence
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+SCRIPTS_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(SCRIPTS_DIR)
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+EXIT_OK = 0
+EXIT_INTERNAL = 6
+EXIT_UNEXPLAINED = 7
+
+DETECT_SEED = 2026
+DETECT_MAX_POINTS = 243
+
+
+def _options(registry=None):
+    from repro.detect import DetectOptions
+
+    return DetectOptions(
+        max_points=DETECT_MAX_POINTS, seed=DETECT_SEED, registry=registry
+    )
+
+
+def benchmark_rows(registry=None):
+    """One scoreboard row per Figure 8 benchmark."""
+    from repro.bm.benchmarks import BENCHMARKS, build_benchmark
+    from repro.detect import detect_cover
+    from repro.hf import espresso_hf
+    from repro.transform import transform_instance
+
+    rows = []
+    for spec in BENCHMARKS:
+        inst = build_benchmark(spec.name)
+        t0 = time.perf_counter()
+        hf = espresso_hf(inst)
+        hf_time = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        hf_report = detect_cover(inst, hf.cover, _options(registry))
+        hf_detect_time = time.perf_counter() - t0
+        uf = transform_instance(inst, registry=registry)
+        t0 = time.perf_counter()
+        uf_report = detect_cover(
+            inst, uf.cover, _options(registry), name=uf.netlist.name
+        )
+        uf_detect_time = time.perf_counter() - t0
+        rows.append(
+            {
+                "name": spec.name,
+                "n_inputs": inst.n_inputs,
+                "n_outputs": inst.n_outputs,
+                "hf_cubes": hf.num_cubes,
+                "hf_time_s": round(hf_time, 4),
+                "hf_hazard_free": hf_report.hazard_free,
+                "hf_detect_time_s": round(hf_detect_time, 4),
+                "uf_cubes": uf.num_cubes,
+                "uf_gates": uf.num_gates,
+                "uf_depth": uf.depth,
+                "uf_time_s": round(uf.elapsed_s, 4),
+                "uf_hazard_free": uf_report.hazard_free,
+                "uf_detect_time_s": round(uf_detect_time, 4),
+                "cube_ratio": (
+                    round(uf.num_cubes / hf.num_cubes, 3) if hf.num_cubes else None
+                ),
+            }
+        )
+    return rows
+
+
+def corpus_rows(seed, count, registry=None):
+    """Per-stratum aggregate over a generated corpus sample."""
+    from repro.corpus import generate_corpus
+    from repro.detect import detect_netlist
+    from repro.guard.errors import HFError
+    from repro.hf import espresso_hf
+    from repro.pla.reader import parse_pla
+    from repro.transform import transform_instance
+
+    strata = {}
+    failures = []
+    for ci in generate_corpus(seed=seed, count=count):
+        agg = strata.setdefault(
+            ci.stratum,
+            {
+                "instances": 0,
+                "uf_verified": 0,
+                "uf_cubes": 0,
+                "hf_cubes": 0,
+                "hf_solved": 0,
+                "detect_time_s": 0.0,
+            },
+        )
+        agg["instances"] += 1
+        inst = parse_pla(ci.pla_text, name=ci.name).to_instance()
+        uf = transform_instance(inst, registry=registry)
+        t0 = time.perf_counter()
+        report = detect_netlist(
+            uf.netlist, inst.on, inst.off, inst.transitions, _options(registry)
+        )
+        agg["detect_time_s"] += time.perf_counter() - t0
+        agg["uf_cubes"] += uf.num_cubes
+        if report.hazard_free:
+            agg["uf_verified"] += 1
+        else:
+            failures.append(
+                {
+                    "name": ci.name,
+                    "stratum": ci.stratum,
+                    "verdict": (report.hazards + report.mismatches)[0].as_dict(),
+                }
+            )
+        if ci.solvable:
+            try:
+                hf = espresso_hf(inst)
+                agg["hf_solved"] += 1
+                agg["hf_cubes"] += hf.num_cubes
+            except HFError:
+                pass
+    return strata, failures
+
+
+def agreement_gate(count, seed=DETECT_SEED):
+    """Exhaustive-vs-sampled agreement over generated two-level netlists.
+
+    Sampled detection must never report a hazard exhaustive detection
+    denies (soundness: every sampled witness is a real ternary point),
+    and whenever the sampled run actually covered every point it must
+    return the identical verdict set.
+    """
+    from repro.detect import DetectOptions, Netlist, detect_netlist
+    from repro.hf import espresso_hf
+    from repro.proptest.strategies import seeded_instance
+
+    disagreements = []
+    produced = 0
+    for i in range(8 * count):
+        if produced >= count:
+            break
+        inst = seeded_instance(seed * 100_003 + i)
+        if inst is None:
+            continue
+        produced += 1
+        try:
+            cover = espresso_hf(inst).cover
+        except Exception:
+            cover = inst.on  # unsolvable: judge the raw ON realization
+        netlist = Netlist.from_cover(cover, name=f"agree-{i}")
+        exhaustive = detect_netlist(
+            netlist,
+            inst.on,
+            inst.off,
+            inst.transitions,
+            DetectOptions(mode="exhaustive"),
+        )
+        sampled = detect_netlist(
+            netlist,
+            inst.on,
+            inst.off,
+            inst.transitions,
+            DetectOptions(mode="sampled", max_points=16, seed=seed + i),
+        )
+        ex_bad = {
+            (v.transition.start, v.transition.end, v.output): v.status
+            for v in exhaustive.verdicts
+            if v.status in ("hazard", "functional_mismatch")
+        }
+        for v in sampled.verdicts:
+            key = (v.transition.start, v.transition.end, v.output)
+            if v.status in ("hazard", "functional_mismatch"):
+                if key not in ex_bad:
+                    disagreements.append(
+                        {
+                            "netlist": netlist.name,
+                            "kind": "sampled_false_positive",
+                            "verdict": v.as_dict(),
+                        }
+                    )
+            elif v.exhaustive and key in ex_bad:
+                disagreements.append(
+                    {
+                        "netlist": netlist.name,
+                        "kind": "covered_but_missed",
+                        "verdict": v.as_dict(),
+                    }
+                )
+    return disagreements
+
+
+def format_benchmark_table(rows):
+    from repro.bench.tables import render_table
+
+    header = [
+        "circuit", "i/o", "#c hf", "det", "#c uf", "ratio",
+        "depth", "t_hf", "t_uf", "t_det",
+    ]
+    body = [
+        [
+            r["name"],
+            f"{r['n_inputs']}/{r['n_outputs']}",
+            r["hf_cubes"],
+            ("ok" if r["hf_hazard_free"] else "HAZ")
+            + "/"
+            + ("ok" if r["uf_hazard_free"] else "HAZ"),
+            r["uf_cubes"],
+            r["cube_ratio"],
+            r["uf_depth"],
+            f"{r['hf_time_s']:.2f}",
+            f"{r['uf_time_s']:.2f}",
+            f"{r['hf_detect_time_s'] + r['uf_detect_time_s']:.2f}",
+        ]
+        for r in rows
+    ]
+    return render_table(header, body)
+
+
+def format_corpus_table(strata):
+    from repro.bench.tables import render_table
+
+    header = ["stratum", "n", "uf ok", "uf #c", "hf #c", "t_det"]
+    body = []
+    for name in sorted(strata):
+        s = strata[name]
+        solved = s["hf_solved"]
+        body.append(
+            [
+                name,
+                s["instances"],
+                f"{s['uf_verified']}/{s['instances']}",
+                s["uf_cubes"],
+                f"{s['hf_cubes']} ({solved} solved)",
+                f"{s['detect_time_s']:.2f}",
+            ]
+        )
+    return render_table(header, body)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="detection & transformation scoreboard (docs/DETECTION.md)"
+    )
+    parser.add_argument(
+        "--corpus-count",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also run N corpus instances through u(f) + detection",
+    )
+    parser.add_argument(
+        "--corpus-seed", type=int, default=2026, help="corpus generator seed"
+    )
+    parser.add_argument(
+        "--agreement",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run the exhaustive-vs-sampled agreement gate on N netlists",
+    )
+    parser.add_argument(
+        "--skip-benchmarks",
+        action="store_true",
+        help="skip the 15-circuit table (corpus/agreement only)",
+    )
+    parser.add_argument(
+        "--freeze-golden",
+        metavar="PATH",
+        help="write the golden detection fixture and exit",
+    )
+    parser.add_argument("--json", help="write the scoreboard JSON here")
+    args = parser.parse_args(argv)
+
+    from repro.obs import MetricsRegistry
+
+    try:
+        if args.freeze_golden:
+            from repro.detect.golden import golden_detect_payload
+
+            payload = golden_detect_payload()
+            with open(args.freeze_golden, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"golden detection fixture: {args.freeze_golden}")
+            return EXIT_OK
+
+        registry = MetricsRegistry()
+        board = {"detect_seed": DETECT_SEED, "max_points": DETECT_MAX_POINTS}
+        unexplained = 0
+
+        if not args.skip_benchmarks:
+            rows = benchmark_rows(registry)
+            board["benchmarks"] = rows
+            print(format_benchmark_table(rows))
+            bad = [
+                r["name"]
+                for r in rows
+                if not (r["hf_hazard_free"] and r["uf_hazard_free"])
+            ]
+            if bad:
+                unexplained += len(bad)
+                print(f"UNEXPLAINED: detector flagged verified covers: {bad}")
+
+        if args.corpus_count:
+            strata, failures = corpus_rows(
+                args.corpus_seed, args.corpus_count, registry
+            )
+            board["corpus"] = {"strata": strata, "failures": failures}
+            print()
+            print(format_corpus_table(strata))
+            if failures:
+                unexplained += len(failures)
+                for f in failures[:5]:
+                    print(f"UNEXPLAINED: {f['name']} ({f['stratum']}): {f['verdict']}")
+
+        if args.agreement:
+            disagreements = agreement_gate(args.agreement)
+            board["agreement"] = {
+                "netlists": args.agreement,
+                "disagreements": disagreements,
+            }
+            print()
+            print(
+                f"agreement gate: {args.agreement} netlists, "
+                f"{len(disagreements)} disagreement(s)"
+            )
+            unexplained += len(disagreements)
+
+        board["metrics"] = registry.snapshot()
+        if args.json:
+            out = os.path.abspath(args.json)
+            os.makedirs(os.path.dirname(out) or ".", exist_ok=True)
+            with open(out, "w", encoding="utf-8") as fh:
+                json.dump(board, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"scoreboard JSON: {out}")
+    except Exception as exc:  # noqa: BLE001 - CLI boundary
+        import traceback
+
+        traceback.print_exc()
+        print(f"detect_run: internal error: {exc}", file=sys.stderr)
+        return EXIT_INTERNAL
+
+    return EXIT_UNEXPLAINED if unexplained else EXIT_OK
+
+
+if __name__ == "__main__":
+    sys.exit(main())

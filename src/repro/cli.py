@@ -18,6 +18,9 @@ Examples::
     espresso-hf input.pla --trace-out t.json  # Chrome trace of the run
     espresso-hf serve --port 7777             # minimization-as-a-service
                                               # daemon (see docs/SERVICE.md)
+    espresso-hf detect circuit.net            # gate-level hazard detection
+    espresso-hf transform circuit.net -o f.net  # hazard-free u(f) rewrite
+                                              # (see docs/DETECTION.md)
 
 Exit codes (see ``docs/FAILURES.md``):
 
@@ -265,6 +268,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.serve.daemon import serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "detect":
+        # Gate-level hazard detection for foreign netlists (docs/DETECTION.md).
+        from repro.detect.cli import detect_main
+
+        return detect_main(argv[1:])
+    if argv and argv[0] == "transform":
+        # Hazard-free u(f) rewrite (docs/DETECTION.md).
+        from repro.detect.cli import transform_main
+
+        return transform_main(argv[1:])
     parser = build_parser()
     try:
         args = parser.parse_args(argv)

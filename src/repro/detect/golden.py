@@ -1,0 +1,89 @@
+"""The frozen detection fixture: ``data/golden_detect.json``.
+
+Mirrors the golden-pipeline idiom: one deterministic payload builder
+shared by ``scripts/detect_run.py --freeze-golden`` (which writes the
+file) and ``tests/test_golden_detect.py`` (which rebuilds it and demands
+byte identity).  The payload freezes, for every Figure 8 benchmark, the
+detector's verdict profile on the Espresso-HF cover and on the ``u(f)``
+rewrite — plus the paper's worked Figure 1 example, where the 4-cube
+unconstrained cover's hazard *witnesses* are pinned verbatim.
+
+Determinism: detection runs under a fixed seed and point cap, covers
+come from the deterministic minimizer, and JSON is serialized with
+sorted keys by the writers — so any byte diff is a real behavior change
+in the detector, the transform, or the minimizer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.bench.figure1 import figure1_instance, minimum_plain_cover
+from repro.bm.benchmarks import BENCHMARKS, build_benchmark
+from repro.detect.detector import DetectionReport, DetectOptions, detect_cover
+from repro.hf import espresso_hf
+from repro.transform.uf import transform_instance
+
+#: Detection knobs pinned into the fixture.
+GOLDEN_SEED = 2026
+GOLDEN_MAX_POINTS = 243  # 3^5
+
+
+def _options() -> DetectOptions:
+    return DetectOptions(max_points=GOLDEN_MAX_POINTS, seed=GOLDEN_SEED)
+
+
+def _summary(report: DetectionReport) -> Dict[str, object]:
+    by_status: Dict[str, int] = {}
+    for v in report.verdicts:
+        by_status[v.status] = by_status.get(v.status, 0) + 1
+    return {
+        "hazard_free": report.hazard_free,
+        "verdicts": len(report.verdicts),
+        "by_status": dict(sorted(by_status.items())),
+        "points_checked": sum(v.points_checked for v in report.verdicts),
+    }
+
+
+def _witnesses(report: DetectionReport, limit: int = 4) -> List[Dict[str, object]]:
+    out = []
+    for v in report.hazards + report.mismatches:
+        if v.witness is not None:
+            out.append(v.witness.as_dict())
+        if len(out) >= limit:
+            break
+    return out
+
+
+def golden_detect_payload() -> Dict[str, object]:
+    """Build the full fixture payload (deterministic; ~5 s)."""
+    circuits: Dict[str, Dict[str, object]] = {}
+    for spec in BENCHMARKS:
+        inst = build_benchmark(spec.name)
+        hf_cover = espresso_hf(inst).cover
+        hf_report = detect_cover(inst, hf_cover, _options())
+        uf = transform_instance(inst)
+        uf_report = detect_cover(inst, uf.cover, _options(), name=uf.netlist.name)
+        circuits[spec.name] = {
+            "espresso_hf": _summary(hf_report),
+            "espresso_hf_cubes": len(hf_cover.cubes),
+            "uf": _summary(uf_report),
+            "uf_cubes": uf.num_cubes,
+            "uf_depth": uf.depth,
+        }
+    fig1 = figure1_instance()
+    plain = minimum_plain_cover(fig1)
+    plain_report = detect_cover(fig1, plain, _options(), name="figure1-plain")
+    hf_cover = espresso_hf(fig1).cover
+    hf_report = detect_cover(fig1, hf_cover, _options(), name="figure1-hf")
+    return {
+        "suite": "espresso-hf-golden-detect",
+        "seed": GOLDEN_SEED,
+        "max_points": GOLDEN_MAX_POINTS,
+        "circuits": circuits,
+        "figure1": {
+            "hazard_free_cover": _summary(hf_report),
+            "plain_cover": _summary(plain_report),
+            "plain_witnesses": _witnesses(plain_report),
+        },
+    }

@@ -1,0 +1,180 @@
+"""Netlist defect injection: the detector's oracle-sensitivity seam.
+
+Mirrors :mod:`repro.proptest.faults` at the netlist level: each defect is
+a small, *plausible* miscompilation — the kind of bug a cover-to-gates
+lowering could really have — applied through the
+:attr:`~repro.detect.detector.DetectOptions.netlist_decorator` seam.
+The mutation suite (``tests/test_oracle_sensitivity.py``) asserts every
+defect is flagged by at least one oracle: the ternary detector, the
+Monte-Carlo simulator, or the Theorem 2.11 verifier (via
+:meth:`~repro.detect.netlist.Netlist.as_cover` on two-level netlists).
+
+Defects are deterministic given a seed, and every constructor returns a
+**new** netlist — the input is never modified.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.detect.netlist import Gate, Netlist, NetlistError
+
+
+@dataclass(frozen=True)
+class NetlistDefect:
+    """One named way of corrupting a netlist."""
+
+    name: str
+    description: str
+    apply: Callable[[Netlist, random.Random], Optional[Netlist]]
+
+    def mutate(self, netlist: Netlist, seed: int = 0) -> Optional[Netlist]:
+        """A corrupted copy, or ``None`` when the defect has no site."""
+        return self.apply(netlist, random.Random(seed))
+
+
+def _rebuild(netlist: Netlist, gates: List[Gate]) -> Netlist:
+    return Netlist(
+        netlist.n_inputs, gates, netlist.outputs,
+        name=f"{netlist.name}+defect",
+    )
+
+
+def _and_gate_sites(netlist: Netlist) -> List[int]:
+    return [
+        i
+        for i, g in enumerate(netlist.gates)
+        if g.op == "and" and len(g.fanin) >= 1
+    ]
+
+
+def _dropped_gate(netlist: Netlist, rng: random.Random) -> Optional[Netlist]:
+    """Remove one AND term from an OR: a product silently lost."""
+    sites: List[Tuple[int, int]] = []
+    for i, g in enumerate(netlist.gates):
+        if g.op == "or" and len(g.fanin) >= 2:
+            for pos in range(len(g.fanin)):
+                sites.append((i, pos))
+    if not sites:
+        return None
+    i, pos = rng.choice(sites)
+    gates = list(netlist.gates)
+    g = gates[i]
+    gates[i] = Gate(g.name, g.op, g.fanin[:pos] + g.fanin[pos + 1:])
+    return _rebuild(netlist, gates)
+
+
+def _flipped_phase(netlist: Netlist, rng: random.Random) -> Optional[Netlist]:
+    """Swap one literal's polarity inside an AND (x ↔ x̄)."""
+    sites: List[Tuple[int, int]] = []
+    for i in _and_gate_sites(netlist):
+        for pos, f in enumerate(netlist.gates[i].fanin):
+            fg = netlist.gates[f]
+            if fg.op == "input" or (
+                fg.op == "not"
+                and netlist.gates[fg.fanin[0]].op == "input"
+            ):
+                sites.append((i, pos))
+    if not sites:
+        return None
+    i, pos = rng.choice(sites)
+    gates = list(netlist.gates)
+    g = gates[i]
+    f = g.fanin[pos]
+    fg = gates[f]
+    if fg.op == "not":
+        flipped = fg.fanin[0]  # x̄ → x
+        fanin = g.fanin[:pos] + (flipped,) + g.fanin[pos + 1:]
+        gates[i] = Gate(g.name, g.op, fanin)
+        return _rebuild(netlist, gates)
+    # x → x̄: reuse an existing NOT of this input or append one.  The
+    # appended gate lands after ``i``, so rebuild with the NOT inserted
+    # right before the AND to keep the list topological.
+    for cand, cg in enumerate(gates):
+        if cg.op == "not" and cg.fanin == (f,) and cand < i:
+            fanin = g.fanin[:pos] + (cand,) + g.fanin[pos + 1:]
+            gates[i] = Gate(g.name, g.op, fanin)
+            return _rebuild(netlist, gates)
+    inserted = i  # new NOT takes index i; later indices shift by one
+    new_not = Gate(f"{gates[f].name}_flip", "not", (f,))
+
+    def shift(idx: int) -> int:
+        return idx + 1 if idx >= inserted else idx
+
+    rebuilt: List[Gate] = []
+    for k, cg in enumerate(gates):
+        if k == inserted:
+            rebuilt.append(new_not)
+        rebuilt.append(Gate(cg.name, cg.op, tuple(shift(x) for x in cg.fanin)))
+    g2 = rebuilt[inserted + 1]
+    fanin = g2.fanin[:pos] + (inserted,) + g2.fanin[pos + 1:]
+    rebuilt[inserted + 1] = Gate(g2.name, g2.op, fanin)
+    outputs = tuple(shift(o) for o in netlist.outputs)
+    return Netlist(
+        netlist.n_inputs, rebuilt, outputs, name=f"{netlist.name}+defect"
+    )
+
+
+def _widened_cube(netlist: Netlist, rng: random.Random) -> Optional[Netlist]:
+    """Drop one literal from an AND: the product covers too much."""
+    sites: List[Tuple[int, int]] = []
+    for i in _and_gate_sites(netlist):
+        if len(netlist.gates[i].fanin) >= 2:
+            for pos in range(len(netlist.gates[i].fanin)):
+                sites.append((i, pos))
+    if not sites:
+        return None
+    i, pos = rng.choice(sites)
+    gates = list(netlist.gates)
+    g = gates[i]
+    gates[i] = Gate(g.name, g.op, g.fanin[:pos] + g.fanin[pos + 1:])
+    return _rebuild(netlist, gates)
+
+
+#: The defect registry, mirroring :data:`repro.proptest.faults.DEFECTS`.
+NETLIST_DEFECTS: Dict[str, NetlistDefect] = {
+    d.name: d
+    for d in (
+        NetlistDefect(
+            "dropped_gate",
+            "an OR loses one of its AND terms (missing product)",
+            _dropped_gate,
+        ),
+        NetlistDefect(
+            "flipped_phase",
+            "one AND literal swaps polarity (x for x̄)",
+            _flipped_phase,
+        ),
+        NetlistDefect(
+            "widened_cube",
+            "an AND loses one literal (product covers too much)",
+            _widened_cube,
+        ),
+    )
+}
+
+
+def defect_decorator(
+    defect: str, seed: int = 0
+) -> Callable[[Netlist], Netlist]:
+    """A ``netlist_decorator`` applying one registry defect.
+
+    Raises :class:`NetlistError` when the netlist has no site for the
+    defect, so silently-clean mutants cannot masquerade as caught ones.
+    """
+    try:
+        d = NETLIST_DEFECTS[defect]
+    except KeyError:
+        raise NetlistError(f"unknown netlist defect {defect!r}")
+
+    def decorate(netlist: Netlist) -> Netlist:
+        mutated = d.mutate(netlist, seed)
+        if mutated is None:
+            raise NetlistError(
+                f"netlist {netlist.name!r} has no site for defect {defect!r}"
+            )
+        return mutated
+
+    return decorate

@@ -1,0 +1,431 @@
+"""The gate-level netlist IR: multi-level AND/OR/NOT networks.
+
+:class:`~repro.simulate.network.SopNetwork` hard-codes the two-level
+AND-OR shape of a cover.  Detection (ROADMAP item 1) must accept *foreign*
+circuits — arbitrary DeMorgan netlists — so this module provides the
+general IR: a flat list of gates in topological order, binary and ternary
+(Kleene) evaluation over that order, and conversions to and from covers.
+
+Design notes
+------------
+
+* Gates are stored in one topologically sorted list; the first
+  ``n_inputs`` entries are ``input`` gates.  Fan-in edges point strictly
+  backwards, which the constructor enforces, so evaluation is a single
+  forward sweep — no recursion, no cycle checks at runtime.
+* Ternary evaluation uses the same encoding as
+  :mod:`repro.simulate.ternary`: ``None`` is the unstable value ``X``; an
+  AND with a controlling 0 is 0 and an OR with a controlling 1 is 1 even
+  when other fan-ins are ``X``.
+* ``from_cover`` builds the canonical two-level realization (shared NOT
+  gates on complemented inputs, one AND per distinct product, one OR per
+  output) and ``as_cover`` inverts it for any netlist that still has that
+  shape — the bridge that lets two-level oracles (Theorem 2.11, the
+  Monte-Carlo simulator) judge netlist-level mutations.
+
+Malformed netlists raise :class:`NetlistError`, a
+:class:`~repro.guard.errors.MalformedInstance`, so the CLI exit-code
+taxonomy (exit 4) applies unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.cubes.cube import (
+    Cube,
+    LITERAL_DC,
+    LITERAL_ONE,
+    LITERAL_ZERO,
+)
+from repro.cubes.cover import Cover
+from repro.guard.errors import MalformedInstance
+
+#: Gate operators.  ``input`` gates have no fan-in; ``const0``/``const1``
+#: are nullary constants (needed for empty and tautological covers);
+#: ``not`` is unary; ``and``/``or`` take one or more fan-ins.
+OPS = ("input", "and", "or", "not", "const0", "const1")
+
+_NULLARY = ("input", "const0", "const1")
+
+
+class NetlistError(MalformedInstance):
+    """A structurally invalid netlist (bad fan-in, arity, name, ...)."""
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate: a name, an operator, and fan-in gate indices."""
+
+    name: str
+    op: str
+    fanin: Tuple[int, ...] = ()
+
+    def arity_ok(self) -> bool:
+        if self.op in _NULLARY:
+            return not self.fanin
+        if self.op == "not":
+            return len(self.fanin) == 1
+        if self.op in ("and", "or"):
+            return len(self.fanin) >= 1
+        return False
+
+
+class Netlist:
+    """An AND/OR/NOT netlist in topological order.
+
+    Parameters
+    ----------
+    n_inputs:
+        Number of primary inputs; ``gates[:n_inputs]`` must be ``input``
+        gates.
+    gates:
+        All gates, inputs first, each fan-in index strictly smaller than
+        the gate's own index.
+    outputs:
+        Gate indices driving the primary outputs (repeats allowed).
+    name:
+        Diagnostic name used in error messages and reports.
+    """
+
+    __slots__ = ("name", "n_inputs", "gates", "outputs", "_index", "_depths")
+
+    def __init__(
+        self,
+        n_inputs: int,
+        gates: Sequence[Gate],
+        outputs: Sequence[int],
+        name: str = "netlist",
+    ):
+        gates = tuple(gates)
+        outputs = tuple(outputs)
+        if n_inputs < 0 or n_inputs > len(gates):
+            raise NetlistError(
+                f"{name}: n_inputs {n_inputs} out of range for "
+                f"{len(gates)} gates"
+            )
+        index: Dict[str, int] = {}
+        for i, g in enumerate(gates):
+            if g.op not in OPS:
+                raise NetlistError(
+                    f"{name}: gate {i} ({g.name!r}): unknown op {g.op!r}"
+                )
+            if (g.op == "input") != (i < n_inputs):
+                raise NetlistError(
+                    f"{name}: gate {i} ({g.name!r}): input gates must be "
+                    f"exactly the first {n_inputs} gates"
+                )
+            if not g.arity_ok():
+                raise NetlistError(
+                    f"{name}: gate {i} ({g.name!r}): op {g.op!r} cannot "
+                    f"take {len(g.fanin)} fan-ins"
+                )
+            for f in g.fanin:
+                if not (0 <= f < i):
+                    raise NetlistError(
+                        f"{name}: gate {i} ({g.name!r}): fan-in {f} is not "
+                        f"an earlier gate (netlists must be topological)"
+                    )
+            if g.name in index:
+                raise NetlistError(
+                    f"{name}: duplicate gate name {g.name!r} "
+                    f"(gates {index[g.name]} and {i})"
+                )
+            index[g.name] = i
+        if not outputs:
+            raise NetlistError(f"{name}: netlist has no outputs")
+        for o in outputs:
+            if not (0 <= o < len(gates)):
+                raise NetlistError(
+                    f"{name}: output index {o} out of range"
+                )
+        self.name = name
+        self.n_inputs = n_inputs
+        self.gates = gates
+        self.outputs = outputs
+        self._index = index
+        self._depths: Optional[Tuple[int, ...]] = None
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    @property
+    def n_outputs(self) -> int:
+        return len(self.outputs)
+
+    @property
+    def num_gates(self) -> int:
+        """Logic gates (everything that is not a primary input)."""
+        return len(self.gates) - self.n_inputs
+
+    @property
+    def num_literals(self) -> int:
+        """Total fan-in edge count over logic gates."""
+        return sum(len(g.fanin) for g in self.gates)
+
+    def gate_depths(self) -> Tuple[int, ...]:
+        """Depth of every gate (inputs and constants are depth 0)."""
+        if self._depths is None:
+            depths: List[int] = []
+            for g in self.gates:
+                if g.op in _NULLARY:
+                    depths.append(0)
+                else:
+                    depths.append(1 + max(depths[f] for f in g.fanin))
+            self._depths = tuple(depths)
+        return self._depths
+
+    @property
+    def depth(self) -> int:
+        depths = self.gate_depths()
+        return max(depths[o] for o in self.outputs)
+
+    def support(self, output: int) -> FrozenSet[int]:
+        """Primary inputs in the cone of ``outputs[output]``."""
+        seen = set()
+        stack = [self.outputs[output]]
+        inputs = set()
+        while stack:
+            i = stack.pop()
+            if i in seen:
+                continue
+            seen.add(i)
+            g = self.gates[i]
+            if g.op == "input":
+                inputs.add(i)
+            stack.extend(g.fanin)
+        return frozenset(inputs)
+
+    def gate_named(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise NetlistError(f"{self.name}: no gate named {name!r}")
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def _check_inputs(self, inputs: Sequence) -> None:
+        if len(inputs) != self.n_inputs:
+            raise NetlistError(
+                f"{self.name}: expected {self.n_inputs} input values, "
+                f"got {len(inputs)}"
+            )
+
+    def eval_gates(self, inputs: Sequence[int]) -> List[int]:
+        """Binary evaluation; returns the value of every gate."""
+        self._check_inputs(inputs)
+        values: List[int] = []
+        for i, g in enumerate(self.gates):
+            if g.op == "input":
+                values.append(1 if inputs[i] else 0)
+            elif g.op == "const0":
+                values.append(0)
+            elif g.op == "const1":
+                values.append(1)
+            elif g.op == "not":
+                values.append(1 - values[g.fanin[0]])
+            elif g.op == "and":
+                v = 1
+                for f in g.fanin:
+                    v &= values[f]
+                values.append(v)
+            else:  # or
+                v = 0
+                for f in g.fanin:
+                    v |= values[f]
+                values.append(v)
+        return values
+
+    def evaluate(self, inputs: Sequence[int]) -> Tuple[int, ...]:
+        values = self.eval_gates(inputs)
+        return tuple(values[o] for o in self.outputs)
+
+    def eval_gates_ternary(
+        self, inputs: Sequence[Optional[int]]
+    ) -> List[Optional[int]]:
+        """Kleene ternary evaluation; ``None`` is the unstable value X."""
+        self._check_inputs(inputs)
+        values: List[Optional[int]] = []
+        for i, g in enumerate(self.gates):
+            if g.op == "input":
+                x = inputs[i]
+                values.append(None if x is None else (1 if x else 0))
+            elif g.op == "const0":
+                values.append(0)
+            elif g.op == "const1":
+                values.append(1)
+            elif g.op == "not":
+                x = values[g.fanin[0]]
+                values.append(None if x is None else 1 - x)
+            elif g.op == "and":
+                v: Optional[int] = 1
+                for f in g.fanin:
+                    x = values[f]
+                    if x == 0:
+                        v = 0
+                        break
+                    if x is None:
+                        v = None
+                values.append(v)
+            else:  # or
+                v = 0
+                for f in g.fanin:
+                    x = values[f]
+                    if x == 1:
+                        v = 1
+                        break
+                    if x is None:
+                        v = None
+                values.append(v)
+        return values
+
+    def evaluate_ternary(
+        self, inputs: Sequence[Optional[int]]
+    ) -> Tuple[Optional[int], ...]:
+        values = self.eval_gates_ternary(inputs)
+        return tuple(values[o] for o in self.outputs)
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_cover(cls, cover: Cover, name: str = "cover") -> "Netlist":
+        """The canonical two-level AND-OR realization of a cover.
+
+        Complemented literals go through shared NOT gates (one per input
+        actually used complemented), mirroring the gate/wire structure the
+        Monte-Carlo simulator assumes.  Tautological cubes become
+        ``const1``; outputs with no cubes become ``const0``.
+        """
+        n = cover.n_inputs
+        gates: List[Gate] = [Gate(f"x{i}", "input") for i in range(n)]
+        not_gate: Dict[int, int] = {}
+        for c in cover:
+            for i in range(n):
+                if c.literal(i) == LITERAL_ZERO and i not in not_gate:
+                    not_gate[i] = len(gates)
+                    gates.append(Gate(f"x{i}_n", "not", (i,)))
+        # One AND per distinct product (shared across outputs).
+        and_gate: Dict[int, int] = {}
+        products: List[Tuple[int, int]] = []  # (inbits, outbits-union)
+        order: Dict[int, int] = {}
+        for c in cover:
+            if c.is_empty or c.outbits == 0:
+                continue
+            if c.inbits not in order:
+                order[c.inbits] = len(products)
+                products.append((c.inbits, c.outbits))
+            else:
+                k = order[c.inbits]
+                products[k] = (c.inbits, products[k][1] | c.outbits)
+        const1 = None
+        for k, (inbits, _) in enumerate(products):
+            cube = Cube(n, inbits, 1, 1)
+            fanin: List[int] = []
+            for i in range(n):
+                lit = cube.literal(i)
+                if lit == LITERAL_ONE:
+                    fanin.append(i)
+                elif lit == LITERAL_ZERO:
+                    fanin.append(not_gate[i])
+            if not fanin:
+                if const1 is None:
+                    const1 = len(gates)
+                    gates.append(Gate("const1", "const1"))
+                and_gate[inbits] = const1
+            else:
+                and_gate[inbits] = len(gates)
+                gates.append(Gate(f"p{k}", "and", tuple(fanin)))
+        const0 = None
+        outputs: List[int] = []
+        for j in range(cover.n_outputs):
+            fanin = [
+                and_gate[inbits]
+                for inbits, outbits in products
+                if (outbits >> j) & 1
+            ]
+            if not fanin:
+                if const0 is None:
+                    const0 = len(gates)
+                    gates.append(Gate("const0", "const0"))
+                outputs.append(const0)
+            elif len(fanin) == 1:
+                outputs.append(fanin[0])
+            else:
+                outputs.append(len(gates))
+                gates.append(Gate(f"f{j}", "or", tuple(fanin)))
+        return cls(n, gates, outputs, name=name)
+
+    def as_cover(self) -> Cover:
+        """Invert :meth:`from_cover` for any two-level-shaped netlist.
+
+        Each output must be a ``const``, an input literal (possibly
+        through NOT gates), an AND of literals, or an OR of such terms.
+        Raises :class:`NetlistError` for genuinely multi-level netlists.
+        """
+        n, n_out = self.n_inputs, self.n_outputs
+
+        def literal_of(i: int) -> Tuple[int, int]:
+            """Resolve gate ``i`` to ``(input index, phase)`` through NOTs."""
+            phase = 1
+            while self.gates[i].op == "not":
+                phase = 1 - phase
+                i = self.gates[i].fanin[0]
+            if self.gates[i].op != "input":
+                raise NetlistError(
+                    f"{self.name}: gate {self.gates[i].name!r} is not a "
+                    "literal; netlist is not two-level"
+                )
+            return i, phase
+
+        def product_of(i: int) -> Optional[int]:
+            """The inbits of gate ``i`` viewed as a product, else None."""
+            g = self.gates[i]
+            if g.op == "const1":
+                return Cube.from_string("-" * n).inbits if n else 0
+            if g.op in ("input", "not"):
+                var, phase = literal_of(i)
+                code = LITERAL_ONE if phase else LITERAL_ZERO
+                cube = Cube.from_string("-" * n) if n else Cube(0, 0)
+                return cube.with_literal(var, code).inbits
+            if g.op == "and":
+                cube = Cube.from_string("-" * n)
+                for f in g.fanin:
+                    var, phase = literal_of(f)
+                    code = LITERAL_ONE if phase else LITERAL_ZERO
+                    have = cube.literal(var)
+                    if have != LITERAL_DC and have != code:
+                        return None  # x AND NOT x: empty product
+                    cube = cube.with_literal(var, code)
+                return cube.inbits
+            return None
+
+        by_inbits: Dict[int, int] = {}
+        for j, o in enumerate(self.outputs):
+            g = self.gates[o]
+            if g.op == "const0":
+                continue
+            terms = g.fanin if g.op == "or" else (o,)
+            for t in terms:
+                p = product_of(t)
+                if p is None:
+                    if self.gates[t].op == "or":
+                        raise NetlistError(
+                            f"{self.name}: nested OR under output {j}; "
+                            "netlist is not two-level"
+                        )
+                    continue  # empty product contributes nothing
+                by_inbits[p] = by_inbits.get(p, 0) | (1 << j)
+        cover = Cover(n, n_outputs=n_out)
+        for inbits in sorted(by_inbits):
+            cover.append(Cube(n, inbits, by_inbits[inbits], n_out))
+        return cover
+
+    def __repr__(self) -> str:
+        return (
+            f"Netlist({self.name!r}, inputs={self.n_inputs}, "
+            f"gates={self.num_gates}, outputs={self.n_outputs}, "
+            f"depth={self.depth})"
+        )

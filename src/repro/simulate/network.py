@@ -6,6 +6,12 @@ delays (every input change propagates; nothing is filtered).  Complemented
 input literals are assumed available hazard-free, as is standard for
 two-level hazard analysis — an input and its complement both change
 monotonically.
+
+Construction validates the cover's shape: a cube whose literals reference
+variables outside the cover's input range (possible when ``Cover.cubes``
+is rebuilt by hand, as several passes do) raises a line-numbered
+:class:`~repro.guard.errors.MalformedInstance` here instead of an
+``IndexError`` deep inside a later ``evaluate`` call.
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.cubes.cube import LITERAL_ONE, LITERAL_ZERO
 from repro.cubes.cover import Cover
+from repro.guard.errors import MalformedInstance
 
 
 @dataclass(frozen=True)
@@ -36,7 +43,13 @@ class SopNetwork:
     def __init__(self, cover: Cover, output: int = 0):
         self.n_inputs = cover.n_inputs
         self.and_gates: List[AndGate] = []
-        for cube in cover:
+        for row, cube in enumerate(cover, start=1):
+            if cube.n_inputs != cover.n_inputs:
+                raise MalformedInstance(
+                    f"cover cube {row}: {cube.n_inputs} input literals do "
+                    f"not fit a {cover.n_inputs}-input cover (literal "
+                    f"indices up to {cube.n_inputs - 1} are out of range)"
+                )
             if cover.n_outputs > 1 and not cube.has_output(output):
                 continue
             if cube.is_empty:
@@ -54,8 +67,16 @@ class SopNetwork:
     def n_gates(self) -> int:
         return len(self.and_gates) + 1  # AND gates plus the OR gate
 
+    def _check_width(self, inputs: Sequence) -> None:
+        if len(inputs) != self.n_inputs:
+            raise MalformedInstance(
+                f"network expects {self.n_inputs} input values, "
+                f"got {len(inputs)}"
+            )
+
     def evaluate(self, inputs: Sequence[int]) -> int:
         """Steady-state Boolean evaluation."""
+        self._check_width(inputs)
         return 1 if any(g.evaluate(inputs) for g in self.and_gates) else 0
 
     def evaluate_ternary(self, inputs: Sequence[Optional[int]]) -> Optional[int]:
@@ -64,6 +85,7 @@ class SopNetwork:
         An AND gate with any controlling 0 input is 0 regardless of X's; an
         OR gate with any 1 input is 1 regardless of X's.
         """
+        self._check_width(inputs)
         or_val: Optional[int] = 0
         for g in self.and_gates:
             val: Optional[int] = 1

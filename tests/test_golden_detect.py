@@ -1,0 +1,87 @@
+"""Golden detection fixture: byte-determinism of the detect/transform stack.
+
+``data/golden_detect.json`` freezes the detector's verdict profile for
+every Figure 8 benchmark (on the Espresso-HF cover and on the ``u(f)``
+rewrite) plus the paper's Figure 1 example with its hazard witnesses
+pinned verbatim.  The test rebuilds the payload with
+:func:`repro.detect.golden.golden_detect_payload` — the same builder
+``scripts/detect_run.py --freeze-golden`` uses — and demands byte
+identity, so any serialization drift, seed change, or behavior change in
+the detector, the transform, or the minimizer fails loudly.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.detect.golden import (
+    GOLDEN_MAX_POINTS,
+    GOLDEN_SEED,
+    golden_detect_payload,
+)
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "data",
+    "golden_detect.json",
+)
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return golden_detect_payload()
+
+
+def _as_bytes(obj) -> str:
+    return json.dumps(obj, indent=2, sort_keys=True) + "\n"
+
+
+def test_fixture_matches_byte_for_byte(payload):
+    with open(GOLDEN_PATH, encoding="utf-8") as fh:
+        frozen = fh.read()
+    assert _as_bytes(payload) == frozen, (
+        "detection behavior drifted from data/golden_detect.json; if the "
+        "change is intended, regenerate with "
+        "`python scripts/detect_run.py --freeze-golden data/golden_detect.json`"
+    )
+
+
+def test_fixture_pins_the_knobs(payload):
+    assert payload["seed"] == GOLDEN_SEED
+    assert payload["max_points"] == GOLDEN_MAX_POINTS
+    assert payload["suite"] == "espresso-hf-golden-detect"
+
+
+def test_all_benchmarks_verify_hazard_free(payload):
+    for name, entry in payload["circuits"].items():
+        assert entry["espresso_hf"]["hazard_free"], name
+        assert entry["uf"]["hazard_free"], name
+        assert entry["uf_cubes"] >= 1
+
+
+def test_figure1_pins_the_plain_cover_hazards(payload):
+    fig1 = payload["figure1"]
+    assert fig1["hazard_free_cover"]["hazard_free"]
+    assert not fig1["plain_cover"]["hazard_free"]
+    witnesses = fig1["plain_witnesses"]
+    assert witnesses, "the unconstrained minimum cover must glitch"
+    for w in witnesses:
+        assert w["observed"] == "X"
+        assert "X" in w["point"]
+        assert w["unstable_gates"]
+
+
+def test_detection_is_run_to_run_deterministic():
+    """Same options, same cover: identical verdict payloads across runs."""
+    from repro.bench.figure1 import figure1_instance, minimum_plain_cover
+    from repro.detect import DetectOptions, detect_cover
+
+    inst = figure1_instance()
+    plain = minimum_plain_cover(inst)
+
+    def run():
+        options = DetectOptions(max_points=GOLDEN_MAX_POINTS, seed=GOLDEN_SEED)
+        return detect_cover(inst, plain, options, name="det").as_dict()
+
+    assert _as_bytes(run()) == _as_bytes(run())

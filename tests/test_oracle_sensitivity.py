@@ -198,3 +198,121 @@ class TestSimulatorSensitivity:
                     if v0 == v1:
                         assert not has_static_hazard_ternary(network, t)
                     assert find_glitch(network, t, trials=40, seed=7) is None
+
+
+class TestDetectorSensitivity:
+    """The gate-level ternary detector's heartbeat: netlist-level defects
+    injected through the ``DetectOptions.netlist_decorator`` seam
+    (:mod:`repro.detect.mutate`) must be flagged — and whenever the
+    detector does flag a two-level mutant, the recovered cover must also
+    fail the independent Theorem 2.11 verifier."""
+
+    DEFECT_SEEDS = (0, 1, 2)
+
+    @staticmethod
+    def _mutants():
+        from repro.detect import Netlist
+        from repro.detect.mutate import NETLIST_DEFECTS
+
+        for inst, cover in CORPUS:
+            netlist = Netlist.from_cover(cover, name=inst.name)
+            for kind, defect in NETLIST_DEFECTS.items():
+                for seed in TestDetectorSensitivity.DEFECT_SEEDS:
+                    mutated = defect.mutate(netlist, seed)
+                    if mutated is None:
+                        continue
+                    yield inst, netlist, kind, seed, mutated
+
+    def test_every_defect_kind_is_flagged(self):
+        """Across the corpus, each defect family must trip the detector at
+        least once; the seam (``netlist_decorator``) must be what applies
+        the mutation."""
+        from repro.detect import DetectOptions, detect_netlist
+        from repro.detect.mutate import NETLIST_DEFECTS, defect_decorator
+
+        flagged = {kind: 0 for kind in NETLIST_DEFECTS}
+        total = 0
+        for inst, netlist, kind, seed, _ in self._mutants():
+            total += 1
+            options = DetectOptions(
+                mode="exhaustive",
+                netlist_decorator=defect_decorator(kind, seed),
+            )
+            report = detect_netlist(
+                netlist, inst.on, inst.off, inst.transitions, options
+            )
+            if not report.hazard_free:
+                flagged[kind] += 1
+        assert total >= 20
+        for kind, hits in flagged.items():
+            assert hits >= 1, f"defect {kind!r} never tripped the detector"
+
+    def test_detector_flags_agree_with_verifier(self):
+        """Two-level mutants stay two-level, so ``as_cover`` bridges them
+        back to the Theorem 2.11 oracle: every detector-flagged mutant
+        must also be a 2.11 violation, and every detector-clean mutant
+        must be free of Monte-Carlo glitches on its static transitions
+        (ternary exactness)."""
+        from repro.detect import DetectOptions, detect_netlist
+
+        agreements = 0
+        for inst, _, kind, seed, mutated in self._mutants():
+            report = detect_netlist(
+                mutated,
+                inst.on,
+                inst.off,
+                inst.transitions,
+                DetectOptions(mode="exhaustive"),
+            )
+            recovered = mutated.as_cover()
+            if not report.hazard_free:
+                assert verify_hazard_free_cover(inst, recovered), (
+                    f"{inst.name}+{kind}@{seed}: detector flagged but the "
+                    "Theorem 2.11 verifier accepted the recovered cover"
+                )
+                agreements += 1
+            else:
+                clean = {
+                    (v.transition.start, v.transition.end, v.output)
+                    for v in report.verdicts
+                    if v.status == "clean"
+                }
+                for t in inst.transitions:
+                    for j in range(inst.n_outputs):
+                        if (t.start, t.end, j) not in clean:
+                            continue
+                        network = SopNetwork(recovered, output=j)
+                        if network.evaluate(t.start) != network.evaluate(t.end):
+                            continue
+                        assert (
+                            find_glitch(network, t, trials=40, seed=5) is None
+                        ), f"{inst.name}+{kind}@{seed}: ternary-invisible glitch"
+        assert agreements >= 3
+
+    def test_decorator_without_site_raises(self):
+        """A defect with no applicable site must fail loudly, not pass as
+        a silently-clean mutant."""
+        from repro.cubes.cube import Cube
+        from repro.detect import DetectOptions, Netlist, NetlistError, detect_netlist
+        from repro.detect.mutate import defect_decorator
+
+        # Single 1-literal cube: no OR with two terms, no AND with two
+        # literals — dropped_gate and widened_cube have nowhere to land.
+        cover = Cover(2, [Cube.from_literals([2, 3])])
+        netlist = Netlist.from_cover(cover, name="tiny")
+        inst_on = cover
+        inst_off = Cover(2, [Cube.from_literals([1, 3])])
+        from repro.hazards.transitions import Transition
+
+        t = Transition((1, 0), (1, 1))
+        for kind in ("dropped_gate", "widened_cube"):
+            options = DetectOptions(netlist_decorator=defect_decorator(kind))
+            with pytest.raises(NetlistError, match="no site"):
+                detect_netlist(netlist, inst_on, inst_off, [t], options)
+
+    def test_unknown_defect_rejected(self):
+        from repro.detect.mutate import defect_decorator
+        from repro.detect import NetlistError
+
+        with pytest.raises(NetlistError, match="unknown"):
+            defect_decorator("gamma_ray")
